@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one of the paper's tables/figures: it runs the
+matching harness driver (simulated time), prints the paper-shaped rows,
+saves them under ``benchmarks/results/``, and asserts the qualitative
+shape the paper reports.  ``REPRO_FULL_SCALE=1`` switches the
+distributed benches to the paper's exact rank counts (slower host-side).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL_SCALE", "0") == "1"
+
+
+def save_and_print(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+def run_once(benchmark, fn):
+    """Run a driver exactly once under pytest-benchmark's clock."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,38 @@
+"""Figure 3: checkpoint/restart times (3a) and image sizes (3b) for the
+21 desktop applications.  Single node, compression enabled."""
+
+from repro.apps.profiles import APP_PROFILES
+from repro.harness.fig3 import run_fig3
+from repro.harness.report import table
+
+from benchmarks._util import run_once, save_and_print
+
+
+def test_fig3_desktop_applications(benchmark):
+    rows = run_once(benchmark, lambda: run_fig3(seed=0))
+    text = table(
+        ["app", "ckpt_s", "restart_s", "size_MB(gz)", "size_MB(raw)", "procs"],
+        [
+            (r.app, r.checkpoint_s, r.restart_s, r.stored_mb, r.image_mb, r.processes)
+            for r in rows
+        ],
+        title="Figure 3 -- desktop applications (1 node, compression on)",
+    )
+    save_and_print("fig3_shell_apps", text)
+
+    by_app = {r.app: r for r in rows}
+    assert len(rows) == len(APP_PROFILES) == 21
+    # paper shapes: MATLAB is the slowest/biggest interpreter; bc tiny;
+    # every app checkpoints in a few seconds and restarts faster than a
+    # compressed checkpoint (gunzip > gzip)
+    assert by_app["matlab"].checkpoint_s == max(r.checkpoint_s for r in rows)
+    assert by_app["matlab"].checkpoint_s > 1.0
+    assert by_app["bc"].checkpoint_s < 0.3
+    assert by_app["bc"].stored_mb < 5
+    assert all(r.checkpoint_s < 4.0 for r in rows)
+    assert all(r.restart_s < r.checkpoint_s for r in rows)
+    # multi-process apps were checkpointed as trees
+    assert by_app["tightvnc+twm"].processes == 3
+    assert by_app["vim/cscope"].processes == 2
+    # compression bought a real reduction everywhere
+    assert all(r.stored_mb < 0.75 * r.image_mb for r in rows)

@@ -1,0 +1,68 @@
+"""Figure 4: checkpoint time (4a), restart time (4b) and aggregate
+checkpoint size (4c) for the twelve distributed applications on 32
+nodes, with and without compression."""
+
+import pytest
+
+from repro.harness.fig4 import FIG4_APPS, run_fig4_app
+from repro.harness.report import table
+
+from benchmarks._util import full_scale, run_once, save_and_print
+
+#: Collected across the parametrized runs, rendered by the final test.
+_ROWS: dict[tuple[str, bool], object] = {}
+
+
+@pytest.mark.parametrize("label", list(FIG4_APPS))
+@pytest.mark.parametrize("compressed", [False, True], ids=["raw", "gz"])
+def test_fig4_app(benchmark, label, compressed):
+    result = run_once(
+        benchmark,
+        lambda: run_fig4_app(label, compressed, full_scale=full_scale()),
+    )
+    _ROWS[(label, compressed)] = result
+    # universal shapes per app
+    assert result.checkpoint_s > 0 and result.restart_s > 0
+    assert result.aggregate_stored_mb <= result.aggregate_image_mb + 1e-6
+    if compressed:
+        assert result.aggregate_stored_mb < 0.8 * result.aggregate_image_mb
+
+
+def test_fig4_summary_shapes(benchmark):
+    if len(_ROWS) < 2 * len(FIG4_APPS):
+        pytest.skip("needs the parametrized runs in the same session")
+    benchmark(lambda: None)
+    text = table(
+        ["app", "gz", "ckpt_s", "restart_s", "agg_MB", "agg_raw_MB", "procs"],
+        [
+            (label, "y" if comp else "n", r.checkpoint_s, r.restart_s,
+             r.aggregate_stored_mb, r.aggregate_image_mb, r.processes)
+            for (label, comp), r in sorted(_ROWS.items())
+        ],
+        title="Figure 4 -- distributed applications (32 nodes)",
+    )
+    save_and_print("fig4_distributed", text)
+
+    def row(label, comp):
+        return _ROWS[(label, comp)]
+
+    # 4c: BT/SP carry the biggest aggregate images (class C totals)
+    sizes = {label: row(label, False).aggregate_image_mb for label in FIG4_APPS}
+    assert sizes["NAS/BT[3]"] == max(sizes.values())
+    assert sizes["NAS/SP[3]"] > sizes["NAS/MG[3]"] > sizes["NAS/CG[2]"]
+    # baselines are small but not empty (MPI stack + resource manager)
+    assert sizes["Baseline[3]"] < sizes["NAS/LU[3]"]
+    # 4a: compression slows checkpoints for incompressible-ish codes...
+    for label in ("NAS/BT[3]", "NAS/SP[3]", "NAS/MG[3]", "NAS/LU[3]"):
+        assert row(label, True).checkpoint_s > row(label, False).checkpoint_s
+    # ...but NAS/IS's mostly-zero buckets compress fast enough that the
+    # gzip run does NOT blow up proportionally (Section 5.4's anomaly):
+    is_ratio = row("NAS/IS[3]", True).checkpoint_s / row("NAS/IS[3]", False).checkpoint_s
+    mg_ratio = row("NAS/MG[3]", True).checkpoint_s / row("NAS/MG[3]", False).checkpoint_s
+    assert is_ratio < mg_ratio
+    # 4b: compressed restarts beat compressed checkpoints (gunzip > gzip)
+    for label in ("NAS/MG[3]", "NAS/BT[3]"):
+        assert row(label, True).restart_s < row(label, True).checkpoint_s
+    # the resource managers were checkpointed too
+    assert row("Baseline[2]", False).processes > 33  # ranks + MPDs + console
+    assert row("Baseline[3]", False).processes > 33  # ranks + orteds + HNP

@@ -1,0 +1,57 @@
+"""Figure 5: ParGeant4 checkpoint/restart times as the number of compute
+processes grows from 16 to 128 -- local disks (5a) vs centralized
+SAN/NFS storage (5b)."""
+
+import pytest
+
+from repro.harness.fig5 import run_fig5_point
+from repro.harness.report import table
+
+from benchmarks._util import full_scale, run_once, save_and_print
+
+POINTS_FULL = [16, 32, 48, 64, 80, 96, 112, 128]
+POINTS_LIGHT = [16, 48, 96, 128]
+
+_ROWS: dict[tuple[str, int], object] = {}
+
+
+def _points():
+    return POINTS_FULL if full_scale() else POINTS_LIGHT
+
+
+@pytest.mark.parametrize("storage", ["local", "san"])
+@pytest.mark.parametrize("nprocs", POINTS_LIGHT)
+def test_fig5_point(benchmark, storage, nprocs):
+    point = run_once(benchmark, lambda: run_fig5_point(nprocs, storage=storage))
+    _ROWS[(storage, nprocs)] = point
+    assert point.total_processes > point.compute_processes  # + managers
+    assert point.checkpoint_s > 0 and point.restart_s > 0
+
+
+def test_fig5_summary_shapes(benchmark):
+    if len(_ROWS) < 2 * len(POINTS_LIGHT):
+        pytest.skip("needs the parametrized runs in the same session")
+    benchmark(lambda: None)
+    text = table(
+        ["storage", "compute_procs", "nodes", "total_procs", "ckpt_s", "restart_s", "agg_MB"],
+        [
+            (s, p.compute_processes, p.nodes, p.total_processes,
+             p.checkpoint_s, p.restart_s, p.aggregate_stored_mb)
+            for (s, n), p in sorted(_ROWS.items())
+        ],
+        title="Figure 5 -- ParGeant4 scalability (MPICH2, compression on)",
+    )
+    save_and_print("fig5_scalability", text)
+
+    local = [p for (s, _n), p in sorted(_ROWS.items()) if s == "local"]
+    san = [p for (s, _n), p in sorted(_ROWS.items()) if s == "san"]
+    # 5a: with local disks, checkpoint time is nearly constant in the
+    # node count ("checkpoint time remains nearly constant as the number
+    # of nodes increases")
+    ckpts = [p.checkpoint_s for p in local]
+    assert max(ckpts) < 2.0 * min(ckpts), ckpts
+    # 5b: the shared RAID device makes times grow with writer count
+    san_by_procs = sorted(san, key=lambda p: p.compute_processes)
+    assert san_by_procs[-1].checkpoint_s > 1.5 * san_by_procs[0].checkpoint_s
+    # centralized storage is never faster than local disks at scale
+    assert san_by_procs[-1].checkpoint_s > local[-1].checkpoint_s

@@ -1,0 +1,55 @@
+"""The runCMS case study (Section 5.1): a 680 MB image with 540 dynamic
+libraries that checkpoints in 25.2 s, restarts in 18.4 s, and compresses
+to 225 MB -- the "undump" use case."""
+
+from repro.core.launch import DmtcpComputation
+from repro.harness.experiment import MB, build_desktop
+from repro.harness.report import table
+from repro.kernel.procfs import count_libraries
+
+from benchmarks._util import run_once, save_and_print
+
+
+def _run():
+    world = build_desktop(seed=0)
+    comp = DmtcpComputation(world)
+    proc = comp.launch("node00", "runcms", ["runcms", "20.0"])
+    world.engine.run_until(lambda: proc.env.get("RUNCMS_READY") == "1")
+    world.engine.run(until=world.engine.now + 1.0)
+    libs = count_libraries(proc)
+    resident_mb = proc.address_space.total_bytes / MB
+    ckpt = comp.checkpoint()
+    kill = comp.checkpoint(kill=True)
+    restart = comp.restart(plan=kill.plan)
+    return {
+        "libs": libs,
+        "resident_mb": resident_mb,
+        "ckpt_s": ckpt.duration,
+        "restart_s": restart.duration,
+        "stored_mb": ckpt.total_stored_bytes / MB,
+        "image_mb": ckpt.total_image_bytes / MB,
+    }
+
+
+def test_runcms_case_study(benchmark):
+    r = run_once(benchmark, _run)
+    text = table(
+        ["metric", "measured", "paper"],
+        [
+            ("dynamic libraries", r["libs"], 540),
+            ("resident MB", r["resident_mb"], 680),
+            ("checkpoint s", r["ckpt_s"], 25.2),
+            ("restart s", r["restart_s"], 18.4),
+            ("image MB (gzipped)", r["stored_mb"], 225),
+        ],
+        title="runCMS case study (Section 5.1)",
+    )
+    save_and_print("runcms", text)
+
+    assert r["libs"] == 540
+    assert 600 < r["resident_mb"] < 800
+    # image compresses to roughly a third, like the paper's 680 -> 225
+    assert 150 < r["stored_mb"] < 320
+    # tens of seconds to checkpoint; restart faster than checkpoint
+    assert 8 < r["ckpt_s"] < 60
+    assert r["restart_s"] < r["ckpt_s"]

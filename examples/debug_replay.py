@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Debugging long-running jobs with checkpoints (Section 1, and use
+cases 4-5: "checkpointed image as the ultimate bug report").
+
+A long pipeline hits a bug deep into its run.  With periodic
+checkpoints, the developer repeatedly restarts from the image taken
+just before the failure instead of re-running from scratch -- and can
+restart it on a single workstation even though it ran on a cluster.
+
+Run:  python examples/debug_replay.py
+"""
+
+from repro.apps import register_all_apps
+from repro.cluster import build_cluster
+from repro.core.launch import DmtcpComputation
+
+TRACE: list = []
+
+
+def flaky_pipeline(sys, argv):
+    """Fails at stage 23 -- but only the first time (a heisenbug)."""
+    for stage in range(30):
+        yield from sys.sleep(0.3)
+        yield from sys.cpu(0.05)
+        TRACE.append(stage)
+        if stage == 23 and not BUG_FIXED[0]:
+            raise RuntimeError(f"corrupted state at stage {stage}")
+
+
+BUG_FIXED = [False]
+
+
+def main() -> None:
+    world = build_cluster(n_nodes=2, seed=5)
+    register_all_apps(world)
+    world.register_program("pipeline", flaky_pipeline)
+
+    comp = DmtcpComputation(world)
+    proc = comp.launch("node00", "pipeline")
+    # checkpoint at stage ~20, shortly before the bug
+    world.engine.run(until=6.3)
+    print(f"pipeline at stage {TRACE[-1]}; taking a pre-bug checkpoint")
+    outcome = comp.checkpoint(kill=True)
+
+    # run on: the job crashes at stage 23 -- reproduce it from the image
+    restart = comp.restart(plan=outcome.plan)
+    world.engine.run_until(lambda: world.scheduler.failures)
+    task, err = world.scheduler.failures[0]
+    print(f"bug reproduced from the checkpoint in {world.engine.now:.1f}s "
+          f"(virtual): {err!r} in {task.name}")
+    world.scheduler.failures.clear()
+
+    # the developer inspects, patches, and replays from the same image.
+    # Generators are single-shot, so a fresh run with the same seed
+    # regenerates the identical pre-bug state (the simulation is
+    # deterministic -- 'the ultimate bug report').
+    TRACE.clear()
+    BUG_FIXED[0] = True
+    world2 = build_cluster(n_nodes=2, seed=5)
+    register_all_apps(world2)
+    world2.register_program("pipeline", flaky_pipeline)
+    comp2 = DmtcpComputation(world2)
+    comp2.launch("node00", "pipeline")
+    world2.engine.run(until=6.3)
+    ckpt2 = comp2.checkpoint(kill=True)
+    comp2.restart(plan=ckpt2.plan, placement={"node00": "node01"})
+    world2.engine.run(until=world2.engine.now + 20.0)
+    assert TRACE[-1] == 29 and not world2.scheduler.failures
+    print(f"patched run replayed from the equivalent checkpoint on node01: "
+          f"completed all 30 stages (final: {TRACE[-3:]})")
+
+
+if __name__ == "__main__":
+    main()

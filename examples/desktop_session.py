@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Save/restore a desktop workspace (Section 1.1, use cases 1 and 6).
+
+A MATLAB-like interactive session (pty, worker threads, big heap) is
+checkpointed on the "powerful" node and restarted on the "laptop" node
+-- the paper's run-at-work, analyse-on-the-plane scenario.  Interval
+checkpointing is enabled, so the session is also protected against
+crashes without any user action.
+
+Run:  python examples/desktop_session.py
+"""
+
+from repro.apps import register_all_apps
+from repro.apps.shell_apps import program_for
+from repro.cluster import build_cluster
+from repro.core.launch import DmtcpComputation
+
+
+def main() -> None:
+    world = build_cluster(n_nodes=2, seed=11)
+    register_all_apps(world)
+
+    # --interval 20: the coordinator checkpoints the workspace by itself
+    comp = DmtcpComputation(world, interval=20.0)
+    comp.launch("node00", program_for("matlab"))
+    world.engine.run(until=65.0)
+    print(f"interval checkpointing produced {len(comp.state.history)} "
+          f"automatic checkpoints in 65s (every 20s)")
+    last = comp.state.last_checkpoint
+    print(f"latest workspace image: {last.total_stored_bytes / 2**20:.1f} MB "
+          f"gz (from {last.total_image_bytes / 2**20:.0f} MB resident), "
+          f"saved in {last.duration:.2f}s")
+
+    # ...the workstation dies; restore the workspace on the laptop
+    kill = comp.checkpoint(kill=True)
+    restart = comp.restart(plan=kill.plan, placement={"node00": "node01"})
+    print(f"workspace restored on node01 in {restart.duration:.2f}s")
+
+    world.engine.run(until=world.engine.now + 5.0)
+    session = [p for p in world.live_processes() if p.program == program_for("matlab")]
+    assert session and session[0].node.hostname == "node01"
+    assert session[0].ctty is not None, "controlling terminal restored"
+    print(f"session alive on {session[0].node.hostname} with pty "
+          f"{session[0].ctty.name}; threads: {len(session[0].user_threads)}")
+
+
+if __name__ == "__main__":
+    main()

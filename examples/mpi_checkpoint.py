@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Checkpoint a live MPI job -- resource manager and all.
+
+The paper's flagship capability (Section 3's usage example): an MPI
+computation launched through its ordinary process manager is
+checkpointed without the MPI library knowing, then killed and restarted
+-- here with every rank relocated to a different node.
+
+Run:  python examples/mpi_checkpoint.py
+"""
+
+from repro.apps import register_all_apps
+from repro.cluster import build_cluster
+from repro.core.launch import DmtcpComputation
+from repro.mpi.api import mpi_init
+
+
+def jacobi(sys, argv):
+    """A small distributed Jacobi iteration with halo exchanges."""
+    import numpy as np
+
+    comm = yield from mpi_init(sys)
+    rng = np.random.default_rng(comm.rank)
+    u = rng.standard_normal(64)
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    for it in range(120):
+        ghost = yield from comm.sendrecv(right, float(u[-1]), 8192, left, tag=it)
+        u = 0.9 * u + 0.1 * np.roll(u, 1)
+        u[0] += 0.05 * ghost
+        norm = yield from comm.allreduce(float(np.abs(u).sum()), nbytes=64)
+        if comm.rank == 0:
+            PROGRESS.append((it, norm))
+        yield from sys.sleep(0.05)
+    yield from comm.finalize()
+
+
+PROGRESS: list = []
+
+
+def main() -> None:
+    world = build_cluster(n_nodes=8, seed=3)
+    register_all_apps(world)
+    world.register_program("jacobi", jacobi)
+
+    comp = DmtcpComputation(world)
+    job = comp.launch("node00", "orterun", ["orterun", "-n", "8", "jacobi"])
+    world.engine.run(until=2.0)
+    print(f"MPI job running: iteration {PROGRESS[-1][0]} of 120")
+
+    outcome = comp.checkpoint(kill=True)
+    print(f"checkpointed {len(outcome.records)} processes "
+          f"(8 ranks + orteds + orterun) in {outcome.duration:.2f}s, "
+          f"aggregate image {outcome.total_stored_bytes / 2**20:.0f} MB")
+
+    # relocate every original host to a different node
+    placement = {f"node{i:02d}": f"node{(i + 4) % 8:02d}" for i in range(8)}
+    restart = comp.restart(placement=placement)
+    print(f"restarted (all ranks migrated) in {restart.duration:.2f}s")
+
+    # note: `job` is the pre-failure incarnation; the restarted computation
+    # lives in new processes, so wait on the work itself
+    world.engine.run_until(lambda: len(PROGRESS) >= 120)
+    iterations = [it for it, _ in PROGRESS]
+    assert iterations == list(range(120)), "iterations lost or repeated!"
+    print(f"job finished cleanly: final norm {PROGRESS[-1][1]:.3f}, "
+          "all 120 iterations exactly once")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Migrate a workspace across *separate simulations* via a real file.
+
+The paper's striking use case (Section 1): run the CPU-intensive phase
+on a powerful machine, then carry the saved workspace home and analyse
+on a laptop.  Here the "cluster" and the "laptop" are two independent
+simulation instances; the workspace travels through an actual file on
+the host filesystem (the app implements the SerializableWorkload
+protocol -- see repro/core/export.py for why that is the boundary).
+
+Run:  python examples/workspace_to_laptop.py
+"""
+
+import tempfile
+
+from repro.apps import register_all_apps
+from repro.cluster import build_cluster
+from repro.config import DESKTOP_2008
+from repro.core.export import export_workspace, import_workspace, read_workspace
+from repro.core.launch import DmtcpComputation
+
+
+def main() -> None:
+    # ---- at work: the big machine runs the sweep -----------------------
+    cluster = build_cluster(n_nodes=4, seed=21)
+    register_all_apps(cluster)
+    comp = DmtcpComputation(cluster)
+    comp.launch("node00", "notebook", ["notebook", "60"])
+    cluster.engine.run(until=3.0)
+
+    outcome = comp.checkpoint(kill=True)
+    image_path = outcome.plan.images_by_host["node00"][0]
+    ns = cluster.node_state("node00")
+    image = ns.mounts.resolve(image_path).namespace.lookup(image_path).payload
+    done_steps = image.app_state["next_step"]
+    print(f"sweep checkpointed at step {done_steps}/60 on the cluster")
+
+    with tempfile.NamedTemporaryFile(suffix=".dmtcp-ws", delete=False) as fh:
+        real_path = fh.name
+    export_workspace(cluster, image, real_path)
+    ws = read_workspace(real_path)
+    print(f"workspace exported to {real_path} "
+          f"({len(ws.app_state['results'])} results, program {ws.program!r})")
+
+    # ---- at home: a brand-new simulation, one laptop node ---------------
+    laptop = build_cluster(n_nodes=1, spec=DESKTOP_2008, seed=22)
+    register_all_apps(laptop)
+    proc = import_workspace(laptop, real_path)
+    laptop.engine.run_until(lambda: proc.user_state.get("notebook_done"))
+    workspace = proc.user_state["workspace"]
+    print(f"laptop finished the remaining {60 - done_steps} steps; "
+          f"{len(workspace.results)} results total")
+
+    assert len(workspace.results) == 60
+    assert sorted(workspace.results) == list(range(60))
+    # the early results came from the cluster, untouched by the laptop run
+    assert workspace.results[0] == ws.app_state["results"][0]
+    print("all 60 sweep results present; cluster-computed values intact")
+
+
+if __name__ == "__main__":
+    main()

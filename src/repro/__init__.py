@@ -1,0 +1,28 @@
+"""repro: a reproduction of DMTCP (Ansel, Arya, Cooperman; IPDPS 2009).
+
+Distributed MultiThreaded CheckPointing, rebuilt end-to-end on a
+deterministic simulated cluster (see DESIGN.md for the substitution
+rationale).  The public surface mirrors how a user drives real DMTCP:
+
+* build a cluster         -- :func:`repro.build_cluster`
+* ``dmtcp_checkpoint``    -- :class:`repro.core.launch.DmtcpLauncher`
+* ``dmtcp command``       -- methods on :class:`repro.core.coordinator.Coordinator`
+* ``dmtcp_restart``       -- :mod:`repro.core.restart`
+
+Sub-packages, bottom-up: :mod:`repro.sim` (event engine),
+:mod:`repro.hardware` (nodes, disks, network), :mod:`repro.kernel`
+(the Unix-like OS), :mod:`repro.core` (DMTCP + MTCP),
+:mod:`repro.mpi` (MPICH2/OpenMPI-style stacks), :mod:`repro.apps`
+(the paper's workloads), :mod:`repro.baselines` (DejaVu/BLCR-style
+comparators) and :mod:`repro.harness` (per-figure experiment drivers).
+"""
+
+from repro._version import __version__
+from repro.config import CLUSTER_2008, DESKTOP_2008, HardwareSpec
+
+__all__ = [
+    "CLUSTER_2008",
+    "DESKTOP_2008",
+    "HardwareSpec",
+    "__version__",
+]

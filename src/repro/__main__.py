@@ -1,0 +1,78 @@
+"""Command-line front door: run the examples or a quick self-check.
+
+    python -m repro list                  # available demos
+    python -m repro quickstart            # run one demo
+    python -m repro selfcheck             # 30-second end-to-end check
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+_EXAMPLES = {
+    "quickstart": "checkpoint -> kill -> restart on another node",
+    "mpi_checkpoint": "checkpoint a live 8-rank OpenMPI job, migrate all ranks",
+    "desktop_session": "interval checkpointing + workspace migration",
+    "debug_replay": "debug-from-checkpoint use case",
+    "workspace_to_laptop": "export a workspace to a real file, revive elsewhere",
+}
+
+
+def _examples_dir() -> Path:
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        candidate = parent / "examples"
+        if (candidate / "quickstart.py").exists():
+            return candidate
+    raise SystemExit("examples/ directory not found next to the package")
+
+
+def _selfcheck() -> None:
+    from repro.cluster import build_cluster
+    from repro.core.launch import DmtcpComputation
+
+    world = build_cluster(n_nodes=2, seed=0)
+    ticks: list = []
+
+    def app(sys_, argv):
+        for i in range(20):
+            yield from sys_.sleep(0.1)
+            ticks.append(i)
+
+    world.register_program("app", app)
+    comp = DmtcpComputation(world)
+    comp.launch("node00", "app")
+    world.engine.run(until=1.0)
+    outcome = comp.checkpoint(kill=True)
+    comp.restart(placement={"node00": "node01"})
+    world.engine.run(until=world.engine.now + 10.0)
+    assert ticks == list(range(20)), "self-check failed: ticks lost"
+    print(
+        f"self-check OK: checkpoint {outcome.duration * 1000:.0f} ms, "
+        f"{outcome.total_stored_bytes / 2**20:.1f} MB image, restarted on node01, "
+        "no work lost"
+    )
+
+
+def main(argv: list[str]) -> int:
+    """Dispatch `python -m repro <command>`."""
+    if not argv or argv[0] in ("-h", "--help", "list"):
+        print(__doc__)
+        for name, blurb in _EXAMPLES.items():
+            print(f"  {name:22s} {blurb}")
+        return 0
+    cmd = argv[0]
+    if cmd == "selfcheck":
+        _selfcheck()
+        return 0
+    if cmd in _EXAMPLES:
+        runpy.run_path(str(_examples_dir() / f"{cmd}.py"), run_name="__main__")
+        return 0
+    print(f"unknown command {cmd!r}; try: python -m repro list")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,46 @@
+"""The paper's workloads, rebuilt as simulated programs.
+
+* :mod:`repro.apps.shell_apps` -- the 21 desktop/interactive-language
+  applications of Figure 3 (bc ... vim/cscope), modelled by calibrated
+  memory-content profiles, process trees, ptys and threads;
+* :mod:`repro.apps.ipython_app` -- the iPython shell and its parallel
+  computing demo (socket-based, no MPI);
+* :mod:`repro.apps.pargeant4` -- ParGeant4: TOP-C master-worker event
+  simulation over MPI (the Figure 5 scalability workload);
+* :mod:`repro.apps.nas` -- miniature NAS Parallel Benchmarks (EP, CG,
+  MG, IS, LU, SP, BT) with the real communication patterns;
+* :mod:`repro.apps.memhog` -- the Figure 6 synthetic memory allocator;
+* :mod:`repro.apps.runcms` -- the runCMS startup model (680 MB, 540
+  dynamic libraries);
+* :mod:`repro.apps.chombo` -- a Chombo-like stencil code used for the
+  DejaVu comparison baseline.
+"""
+
+from repro.apps.profiles import APP_PROFILES, AppProfile
+from repro.apps.shell_apps import register_shell_apps
+
+
+def register_all_apps(world) -> None:
+    """Register every workload (and both MPI stacks) with a world."""
+    from repro.apps.chombo import register_chombo
+    from repro.apps.ipython_app import register_ipython
+    from repro.apps.memhog import register_memhog
+    from repro.apps.nas import register_nas
+    from repro.apps.notebook import register_notebook
+    from repro.apps.pargeant4 import register_pargeant4
+    from repro.apps.runcms import register_runcms
+    from repro.mpi import register_mpich2, register_openmpi
+
+    register_mpich2(world)
+    register_openmpi(world)
+    register_shell_apps(world)
+    register_ipython(world)
+    register_pargeant4(world)
+    register_nas(world)
+    register_memhog(world)
+    register_runcms(world)
+    register_chombo(world)
+    register_notebook(world)
+
+
+__all__ = ["APP_PROFILES", "AppProfile", "register_all_apps", "register_shell_apps"]

@@ -1,0 +1,58 @@
+"""A Chombo-like block-structured stencil code.
+
+Section 2 compares against DejaVu on "the Chombo benchmark", where
+DejaVu "report[s] executing ten checkpoints per hour with 45% overhead"
+from message logging and page-protection tracking, versus DMTCP's
+essentially zero overhead between checkpoints.  This workload gives the
+DejaVu baseline something honest to slow down: per iteration it dirties
+a configurable fraction of its working set and exchanges halo messages
+with its neighbours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernel.process import ProgramSpec, RegionSpec
+from repro.mpi.api import mpi_init
+
+MB = 2**20
+
+CHOMBO_SPEC = ProgramSpec(
+    "chombo", regions=(RegionSpec("code", 4 * MB, "code"),)
+)
+
+#: Per-iteration behaviour the baselines instrument.
+WORKING_SET_MB = 48
+DIRTY_FRACTION_PER_ITER = 0.35
+MSG_BYTES = 128 * 1024
+CPU_PER_ITER = 0.12
+
+
+def chombo_main(sys, argv):
+    """argv: chombo [iterations]"""
+    iters = int(argv[1]) if len(argv) > 1 else 20
+    comm = yield from mpi_init(sys)
+    region = yield from sys.sbrk(WORKING_SET_MB * MB, "numeric")
+
+    rng = np.random.default_rng(99 + comm.rank)
+    u = rng.standard_normal(256)
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    for it in range(iters):
+        ghost = yield from comm.sendrecv(right, u[-8:], MSG_BYTES, left, tag=300 + it)
+        u = 0.9 * u + 0.1 * np.roll(u, 1)
+        u[:8] += 0.05 * ghost
+        yield from sys.cpu(CPU_PER_ITER)
+        # the stencil writes most of its grid every step: page-protection
+        # checkpointers must fault and track all of it
+        yield from sys.mem_touch(region, DIRTY_FRACTION_PER_ITER)
+    total = yield from comm.allreduce(float(np.abs(u).sum()), nbytes=64)
+    assert np.isfinite(total)
+    yield from comm.finalize()
+    return total
+
+
+def register_chombo(world) -> None:
+    """Register the Chombo-like stencil with a world."""
+    world.register_program("chombo", chombo_main, CHOMBO_SPEC)

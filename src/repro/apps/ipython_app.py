@@ -1,0 +1,127 @@
+"""iPython workloads (Figure 4, applications marked [1]: raw sockets).
+
+* ``ipython_shell`` -- "the interactive iPython interpreter, idle at
+  time of checkpoint": one process with an interpreter-sized footprint
+  and a pty.
+* ``ipython_demo`` -- "the 'parallel computing' demo included with the
+  iPython tutorial": an ipcontroller process plus one ipengine per node,
+  connected with plain TCP sockets (no MPI), running a scatter/compute/
+  gather loop.  This is the paper's example of "a custom sockets
+  package" that MPI-specific checkpointers cannot handle.
+"""
+
+from __future__ import annotations
+
+from repro.core import protocol as P
+from repro.kernel.process import ProgramSpec, RegionSpec
+from repro.kernel.streams import FrameAssembler
+from repro.kernel.syscalls import connect_retry, recv_frame, send_frame
+
+MB = 2**20
+
+SHELL_SPEC = ProgramSpec(
+    "ipython_shell",
+    regions=(
+        RegionSpec("code", 6 * MB, "code"),
+        RegionSpec("heap", 14 * MB, "text"),
+        RegionSpec("anon", 4 * MB, "zero"),
+    ),
+)
+CONTROLLER_SPEC = ProgramSpec(
+    "ipcontroller",
+    regions=(
+        RegionSpec("code", 6 * MB, "code"),
+        RegionSpec("heap", 18 * MB, "text"),
+    ),
+)
+ENGINE_SPEC = ProgramSpec(
+    "ipengine",
+    regions=(
+        RegionSpec("code", 6 * MB, "code"),
+        RegionSpec("heap", 12 * MB, "text"),
+        RegionSpec("heap", 20 * MB, "numeric"),
+    ),
+)
+
+CONTROLLER_PORT = 10101
+
+
+def ipython_shell_main(sys, argv):
+    """Idle interactive shell (checkpointed while waiting at the prompt)."""
+    master, slave = yield from sys.openpty()
+    yield from sys.setsid()
+    yield from sys.setctty(slave)
+    while True:
+        yield from sys.sleep(0.3)
+        yield from sys.send(master, 4, data=b"\n")
+        yield from sys.recv(slave)
+
+
+def ipcontroller_main(sys, argv):
+    """argv: ipcontroller <n_engines>"""
+    import numpy as np
+
+    n_engines = int(argv[1])
+    lfd = yield from sys.socket()
+    yield from sys.bind(lfd, CONTROLLER_PORT)
+    yield from sys.listen(lfd, backlog=n_engines + 2)
+    engines = []
+    asms = {}
+    for _ in range(n_engines):
+        fd = yield from sys.accept(lfd)
+        engines.append(fd)
+        asms[fd] = FrameAssembler()
+    rng = sys_rng = np.random.default_rng(7)
+    # the tutorial demo: repeatedly scatter work, engines compute, gather
+    iteration = 0
+    while True:
+        data = rng.random(64)
+        for i, fd in enumerate(engines):
+            yield from send_frame(sys, fd, ("task", iteration, data[i::n_engines]), 96 * 1024)
+        results = []
+        for fd in engines:
+            result = yield from recv_frame(sys, fd, asms[fd])
+            results.append(result[0][1])
+        assert len(results) == n_engines
+        iteration += 1
+        yield from sys.sleep(0.1)
+
+
+def ipengine_main(sys, argv):
+    """argv: ipengine <controller_host>"""
+    controller = argv[1]
+    fd = yield from sys.socket()
+    yield from connect_retry(sys, fd, controller, CONTROLLER_PORT)
+    asm = FrameAssembler()
+    while True:
+        task = yield from recv_frame(sys, fd, asm)
+        if task is None:
+            return
+        _tag, iteration, data = task[0]
+        yield from sys.cpu(0.02)
+        yield from send_frame(sys, fd, ("result", float(data.sum())), 8 * 1024)
+
+
+def ipython_demo_launcher_main(sys, argv):
+    """argv: ipython_demo <n_engines> -- starts controller + engines."""
+    n_engines = int(argv[1])
+    hosts = yield from sys.nodes()
+    yield from sys.spawn("ipcontroller", ["ipcontroller", str(n_engines)])
+    my_host = yield from sys.gethostname()
+    for i in range(n_engines):
+        target = hosts[i % len(hosts)]
+        eng_argv = ["ipengine", my_host]
+        if target == my_host:
+            yield from sys.spawn("ipengine", eng_argv)
+        else:
+            yield from sys.ssh(target, "ipengine", eng_argv)
+    while True:  # keep the session alive (like the user's foreground shell)
+        yield from sys.sleep(1.0)
+
+
+def register_ipython(world) -> None:
+    """Register the iPython shell/controller/engine/demo programs."""
+    world.register_program("ipython_shell", ipython_shell_main, SHELL_SPEC)
+    world.register_program("ipcontroller", ipcontroller_main, CONTROLLER_SPEC)
+    world.register_program("ipengine", ipengine_main, ENGINE_SPEC)
+    world.register_program("ipython_demo", ipython_demo_launcher_main, SHELL_SPEC)

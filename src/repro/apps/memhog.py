@@ -1,0 +1,36 @@
+"""Figure 6 workload: "a synthetic OpenMPI program allocating random
+data on 32 nodes", checkpointed with compression disabled.
+
+Each rank allocates ``MEMHOG_MB`` megabytes of incompressible (random)
+memory, confirms the cluster-wide total with an allreduce, then idles so
+the harness can sweep checkpoint time as a function of total memory.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.process import ProgramSpec, RegionSpec
+from repro.mpi.api import mpi_init
+
+MB = 2**20
+
+MEMHOG_SPEC = ProgramSpec(
+    "memhog", regions=(RegionSpec("code", 256 * 1024, "code"),)
+)
+
+
+def memhog_main(sys, argv):
+    """One memhog rank: allocate MEMHOG_MB of random data, verify, idle."""
+    mb = int((yield from sys.getenv("MEMHOG_MB", "64")))
+    comm = yield from mpi_init(sys)
+    yield from sys.sbrk(mb * MB, "random")
+    total = yield from comm.allreduce(mb, nbytes=64)
+    assert total == mb * comm.size
+    # idle until checkpointed (the harness ends the run)
+    while True:
+        yield from sys.sleep(0.5)
+        yield from sys.cpu(0.002)
+
+
+def register_memhog(world) -> None:
+    """Register the Figure 6 allocator with a world."""
+    world.register_program("memhog", memhog_main, MEMHOG_SPEC)

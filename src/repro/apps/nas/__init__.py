@@ -1,0 +1,14 @@
+"""Miniature NAS Parallel Benchmarks (NPB 2.4-MPI, class C scaled).
+
+Each benchmark really computes (small numpy kernels with verifiable
+results) and really communicates with the pattern of its namesake --
+allreduce trees (EP), distributed mat-vec (CG), multigrid halo exchange
+(MG), bucket-sort alltoall (IS), pipelined wavefronts (LU), and
+alternating-direction face exchanges (SP, BT).  Memory footprints and
+wire sizes are scaled to reproduce Figure 4's class C image sizes at the
+paper's rank counts (128, or 36 for the square-grid codes).
+"""
+
+from repro.apps.nas.common import NAS_FOOTPRINTS, register_nas
+
+__all__ = ["NAS_FOOTPRINTS", "register_nas"]

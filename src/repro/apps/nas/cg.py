@@ -1,0 +1,70 @@
+"""NAS CG (Conjugate Gradient), class C model.
+
+A genuinely distributed CG solve: rows of a diagonally dominant sparse
+SPD matrix are partitioned across ranks; every iteration allgathers the
+search vector for the mat-vec and allreduces the two dot products.  The
+residual must decrease monotonically -- that is the built-in
+verification a checkpoint/restart must not disturb.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.nas.common import (
+    NAS_FOOTPRINTS,
+    allocate_footprint,
+    iters_from_argv,
+    nas_env_scale,
+)
+from repro.mpi.api import mpi_init
+
+#: Miniature global problem size (rows); must divide by comm.size.
+N_GLOBAL = 256
+
+
+def _local_matrix(rank: int, size: int) -> tuple[np.ndarray, slice]:
+    rows = N_GLOBAL // size
+    lo = rank * rows
+    rng = np.random.default_rng(314159)  # same matrix on every rank
+    dense = rng.random((N_GLOBAL, N_GLOBAL))
+    dense = (dense + dense.T) * 0.5
+    dense[dense < 0.9] = 0.0  # sparsify
+    dense += np.eye(N_GLOBAL) * N_GLOBAL  # diagonal dominance -> SPD
+    return dense[lo : lo + rows], slice(lo, lo + rows)
+
+
+def cg_main(sys, argv):
+    """NAS CG rank: distributed conjugate gradient with verification."""
+    fp = NAS_FOOTPRINTS["cg"]
+    iters = iters_from_argv(argv, fp)
+    scale = yield from nas_env_scale(sys)
+    comm = yield from mpi_init(sys)
+    yield from allocate_footprint(sys, fp, scale, comm.size)
+
+    a_local, my_rows = _local_matrix(comm.rank, comm.size)
+    b_local = np.ones(a_local.shape[0])
+    x = np.zeros(N_GLOBAL)
+    r_local = b_local.copy()
+    p_local = r_local.copy()
+    rs_old = yield from comm.allreduce(float(r_local @ r_local), nbytes=64)
+
+    residuals = [rs_old]
+    for _ in range(iters):
+        p_parts = yield from comm.allgather(p_local, nbytes=fp.msg_bytes)
+        p_full = np.concatenate(p_parts)
+        ap_local = a_local @ p_full
+        p_ap = yield from comm.allreduce(float(p_local @ ap_local), nbytes=64)
+        alpha = rs_old / p_ap
+        x[my_rows] += alpha * p_local
+        r_local = r_local - alpha * ap_local
+        rs_new = yield from comm.allreduce(float(r_local @ r_local), nbytes=64)
+        residuals.append(rs_new)
+        p_local = r_local + (rs_new / rs_old) * p_local
+        rs_old = rs_new
+        yield from sys.cpu(fp.cpu_per_iter * scale)
+
+    # verification: CG on an SPD system converges monotonically here
+    assert all(b <= a * (1 + 1e-9) for a, b in zip(residuals, residuals[1:])), residuals
+    yield from comm.finalize()
+    return residuals[-1]

@@ -1,0 +1,113 @@
+"""Shared NAS plumbing: footprints, scaling, registration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.process import ProgramSpec, RegionSpec
+
+MB = 2**20
+
+
+@dataclass(frozen=True)
+class NasFootprint:
+    """Class C working set, as cluster-wide totals (MB by content class).
+
+    A benchmark's total memory is a property of the problem class, not
+    of the rank count: each rank maps ``total / comm.size`` -- which is
+    why Table 1's 8-rank NAS/MG carries ~425 MB per process while
+    Figure 4's 128-rank runs carry ~27 MB.
+    """
+
+    numeric_mb: float
+    zero_mb: float = 0.0
+    sparse_mb: float = 0.0
+    cpu_per_iter: float = 0.1
+    msg_bytes: int = 64 * 1024
+    default_iters: int = 8
+
+    @property
+    def total_mb(self) -> float:
+        """Cluster-wide class C working set, MB."""
+        return self.numeric_mb + self.zero_mb + self.sparse_mb
+
+
+#: Calibrated against Figure 4c's aggregate class C image sizes.
+NAS_FOOTPRINTS: dict[str, NasFootprint] = {
+    "ep": NasFootprint(numeric_mb=220, cpu_per_iter=0.5, msg_bytes=4 * 1024),
+    "cg": NasFootprint(numeric_mb=1300, cpu_per_iter=0.08, msg_bytes=192 * 1024),
+    "mg": NasFootprint(numeric_mb=3000, zero_mb=400, cpu_per_iter=0.1, msg_bytes=96 * 1024),
+    "is": NasFootprint(
+        numeric_mb=1300, sparse_mb=1800, zero_mb=1300, cpu_per_iter=0.05, msg_bytes=256 * 1024
+    ),
+    "lu": NasFootprint(numeric_mb=1500, zero_mb=200, cpu_per_iter=0.1, msg_bytes=40 * 1024),
+    "sp": NasFootprint(numeric_mb=7200, zero_mb=1800, cpu_per_iter=0.15, msg_bytes=144 * 1024),
+    "bt": NasFootprint(numeric_mb=8300, zero_mb=1800, cpu_per_iter=0.2, msg_bytes=192 * 1024),
+}
+
+_NAS_IMAGE = ProgramSpec(
+    "nas", regions=(RegionSpec("code", 2 * MB, "code"), RegionSpec("stack", 256 * 1024, "random"))
+)
+
+
+def nas_env_scale(sys):
+    """NAS_SCALE environment knob: shrink footprints for cheap tests."""
+    raw = yield from sys.getenv("NAS_SCALE", "1.0")
+    return float(raw)
+
+
+def allocate_footprint(sys, fp: NasFootprint, scale: float, nranks: int = 1):
+    """Map this rank's share of the class C working set."""
+    share = scale / max(nranks, 1)
+    if fp.numeric_mb:
+        yield from sys.sbrk(max(int(fp.numeric_mb * share * MB), 4096), "numeric")
+    if fp.zero_mb:
+        yield from sys.mmap(max(int(fp.zero_mb * share * MB), 4096), "zero")
+    if fp.sparse_mb:
+        # IS's over-provisioned sort buckets: "the unwritten portion of
+        # the bucket is likely to be mostly zeroes" (Section 5.4)
+        yield from sys.sbrk(max(int(fp.sparse_mb * share * MB), 4096), "sparse")
+
+
+def iters_from_argv(argv, fp: NasFootprint) -> int:
+    """Iteration count from argv[1], defaulting per benchmark."""
+    return int(argv[1]) if len(argv) > 1 else fp.default_iters
+
+
+def register_nas(world) -> None:
+    """Register every NAS mini plus the hello-world baseline."""
+    from repro.apps.nas.cg import cg_main
+    from repro.apps.nas.ep import ep_main
+    from repro.apps.nas.is_ import is_main
+    from repro.apps.nas.lu import lu_main
+    from repro.apps.nas.mg import mg_main
+    from repro.apps.nas.sp_bt import bt_main, sp_main
+
+    for name, main in [
+        ("nas_ep", ep_main),
+        ("nas_cg", cg_main),
+        ("nas_mg", mg_main),
+        ("nas_is", is_main),
+        ("nas_lu", lu_main),
+        ("nas_sp", sp_main),
+        ("nas_bt", bt_main),
+    ]:
+        world.register_program(name, main, _NAS_IMAGE)
+    # the Figure 4 "hello world" baselines
+    world.register_program("mpi_hello", hello_main, _NAS_IMAGE)
+
+
+def hello_main(sys, argv):
+    """Figure 4's Baseline: the cost of checkpointing the MPI stack and
+    its resource manager with a trivial application inside."""
+    from repro.mpi.api import mpi_init
+
+    comm = yield from mpi_init(sys)
+    value = yield from comm.allreduce(1, nbytes=64)
+    assert value == comm.size
+    hold = float((yield from sys.getenv("HELLO_HOLD_S", "30")))
+    elapsed = 0.0
+    while elapsed < hold:
+        yield from sys.sleep(0.25)
+        elapsed += 0.25
+    yield from comm.finalize()

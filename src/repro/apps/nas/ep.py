@@ -1,0 +1,52 @@
+"""NAS EP (Embarrassingly Parallel), class C model.
+
+Each rank generates pseudorandom 2D deviates, applies the Marsaglia
+polar acceptance test, and bins accepted pairs into concentric annuli;
+the only communication is the final tree reduction of the ten counts --
+the defining property that makes EP's checkpoint cost pure image size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.nas.common import (
+    NAS_FOOTPRINTS,
+    allocate_footprint,
+    iters_from_argv,
+    nas_env_scale,
+)
+from repro.mpi.api import mpi_init
+
+#: Real random pairs generated per rank per iteration (miniature scale).
+PAIRS_PER_ITER = 4096
+
+
+def ep_main(sys, argv):
+    """NAS EP rank: random deviates, annulus counts, final allreduce."""
+    fp = NAS_FOOTPRINTS["ep"]
+    iters = iters_from_argv(argv, fp)
+    scale = yield from nas_env_scale(sys)
+    comm = yield from mpi_init(sys)
+    yield from allocate_footprint(sys, fp, scale, comm.size)
+
+    rng = np.random.default_rng(271828 + comm.rank)
+    counts = np.zeros(10, dtype=np.int64)
+    accepted = 0
+    for _ in range(iters):
+        x = rng.uniform(-1, 1, PAIRS_PER_ITER)
+        y = rng.uniform(-1, 1, PAIRS_PER_ITER)
+        t = x * x + y * y
+        ok = (t <= 1.0) & (t > 0.0)
+        f = np.sqrt(-2.0 * np.log(t[ok]) / t[ok])
+        gx, gy = x[ok] * f, y[ok] * f
+        ring = np.minimum(np.maximum(np.abs(gx), np.abs(gy)).astype(np.int64), 9)
+        counts += np.bincount(ring, minlength=10)
+        accepted += int(ok.sum())
+        yield from sys.cpu(fp.cpu_per_iter * scale)
+
+    total_counts = yield from comm.allreduce(counts, nbytes=fp.msg_bytes)
+    total_accepted = yield from comm.allreduce(accepted, nbytes=64)
+    assert int(total_counts.sum()) == total_accepted  # verification
+    yield from comm.finalize()
+    return total_accepted

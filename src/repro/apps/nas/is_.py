@@ -1,0 +1,60 @@
+"""NAS IS (Integer Sort), class C model.
+
+A parallel bucket sort: each rank draws uniform integer keys, routes
+them to their owner rank with an alltoall, and sorts locally.  The
+verification checks global sortedness across rank boundaries.
+
+IS is the paper's compression anomaly (Section 5.4): "the bucket sort
+code has allocated large buckets to guard against overflow.  Presumably,
+the unwritten portion of the bucket is likely to be mostly zeroes, and
+it compresses both quickly and efficiently" -- the sparse/zero regions
+in this model's footprint reproduce exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.nas.common import (
+    NAS_FOOTPRINTS,
+    allocate_footprint,
+    iters_from_argv,
+    nas_env_scale,
+)
+from repro.mpi.api import mpi_init
+
+KEYS_PER_RANK = 8192
+KEY_MAX = 1 << 20
+
+
+def is_main(sys, argv):
+    """NAS IS rank: parallel bucket sort with alltoall key routing."""
+    fp = NAS_FOOTPRINTS["is"]
+    iters = iters_from_argv(argv, fp)
+    scale = yield from nas_env_scale(sys)
+    comm = yield from mpi_init(sys)
+    yield from allocate_footprint(sys, fp, scale, comm.size)
+
+    rng = np.random.default_rng(42 + comm.rank)
+    bucket_width = KEY_MAX // comm.size + 1
+    last_max = None
+    for it in range(iters):
+        keys = rng.integers(0, KEY_MAX, KEYS_PER_RANK, dtype=np.int64)
+        owner = keys // bucket_width
+        outgoing = [keys[owner == dest] for dest in range(comm.size)]
+        incoming = yield from comm.alltoall(outgoing, nbytes_each=fp.msg_bytes)
+        mine = np.sort(np.concatenate(incoming))
+        yield from sys.cpu(fp.cpu_per_iter * scale)
+
+        # verification: my smallest key is >= the previous rank's largest
+        lo = float(mine[0]) if len(mine) else float("inf")
+        hi = float(mine[-1]) if len(mine) else float("-inf")
+        boundaries = yield from comm.allgather((lo, hi), nbytes=256)
+        for r in range(1, comm.size):
+            prev_hi = boundaries[r - 1][1]
+            next_lo = boundaries[r][0]
+            assert prev_hi <= next_lo or next_lo == float("inf")
+        last_max = boundaries[-1][1]
+
+    yield from comm.finalize()
+    return last_max

@@ -1,0 +1,65 @@
+"""NAS LU (Lower-Upper symmetric Gauss-Seidel), class C model.
+
+The defining pattern is the *pipelined wavefront*: in the lower sweep
+each rank must receive the boundary plane from its predecessor before
+relaxing each k-slab and forwarding to its successor; the upper sweep
+runs the pipeline in reverse.  At checkpoint time the pipeline is
+usually mid-flight, which exercises drain/refill on a chain of sockets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.nas.common import (
+    NAS_FOOTPRINTS,
+    allocate_footprint,
+    iters_from_argv,
+    nas_env_scale,
+)
+from repro.mpi.api import mpi_init
+
+SLABS = 4  # k-direction slabs per sweep
+PLANE = 24  # local plane size (miniature)
+
+
+def lu_main(sys, argv):
+    """NAS LU rank: pipelined lower/upper wavefront sweeps."""
+    fp = NAS_FOOTPRINTS["lu"]
+    iters = iters_from_argv(argv, fp)
+    scale = yield from nas_env_scale(sys)
+    comm = yield from mpi_init(sys)
+    yield from allocate_footprint(sys, fp, scale, comm.size)
+
+    rng = np.random.default_rng(2718 + comm.rank)
+    u = rng.standard_normal((SLABS, PLANE))
+    checks = []
+    for it in range(iters):
+        # lower sweep: wavefront rank 0 -> size-1
+        for k in range(SLABS):
+            if comm.rank > 0:
+                boundary = yield from comm.recv(comm.rank - 1, tag=1000 + k)
+                u[k] = 0.5 * (u[k] + boundary)
+            u[k] = 0.9 * u[k] + 0.1 * np.roll(u[k], 1)
+            if comm.rank < comm.size - 1:
+                yield from comm.send(
+                    comm.rank + 1, u[k], nbytes=fp.msg_bytes, tag=1000 + k
+                )
+        # upper sweep: reverse wavefront
+        for k in reversed(range(SLABS)):
+            if comm.rank < comm.size - 1:
+                boundary = yield from comm.recv(comm.rank + 1, tag=2000 + k)
+                u[k] = 0.5 * (u[k] + boundary)
+            u[k] = 0.9 * u[k] + 0.1 * np.roll(u[k], -1)
+            if comm.rank > 0:
+                yield from comm.send(
+                    comm.rank - 1, u[k], nbytes=fp.msg_bytes, tag=2000 + k
+                )
+        yield from sys.cpu(fp.cpu_per_iter * scale)
+        total = yield from comm.allreduce(float(np.abs(u).sum()), nbytes=64)
+        checks.append(total)
+
+    # verification: the damped relaxation keeps the norm finite & positive
+    assert all(np.isfinite(c) and c > 0 for c in checks), checks
+    yield from comm.finalize()
+    return checks[-1]

@@ -1,0 +1,107 @@
+"""NAS MG (Multi-Grid), class C model.
+
+V-cycles of a 1D multigrid Poisson relaxation: each rank owns a slab,
+exchanges one-cell halos with both neighbours at every grid level
+(finest to coarsest and back), relaxes with Jacobi sweeps, and verifies
+that the residual norm decreases across cycles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.nas.common import (
+    NAS_FOOTPRINTS,
+    allocate_footprint,
+    iters_from_argv,
+    nas_env_scale,
+)
+from repro.mpi.api import mpi_init
+
+LOCAL_FINE = 64  # fine-grid cells per rank (miniature)
+LEVELS = 4
+
+
+def _halo_exchange(comm, u, level_tag):
+    """Swap boundary cells with both neighbours (periodic domain)."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    fp = NAS_FOOTPRINTS["mg"]
+    left_ghost = yield from comm.sendrecv(
+        right, float(u[-1]), fp.msg_bytes, left, tag=level_tag
+    )
+    right_ghost = yield from comm.sendrecv(
+        left, float(u[0]), fp.msg_bytes, right, tag=level_tag + 1
+    )
+    return left_ghost, right_ghost
+
+
+OMEGA = 0.8  # weighted-Jacobi damping
+
+
+def _residual(u, f, left_ghost, right_ghost):
+    """r = f - A u for the 1D Poisson operator A = tridiag(-1, 2, -1)."""
+    padded = np.empty(len(u) + 2)
+    padded[0], padded[-1] = left_ghost, right_ghost
+    padded[1:-1] = u
+    return f - (2 * u - padded[:-2] - padded[2:])
+
+
+def _relax(u, f, left_ghost, right_ghost):
+    """One weighted-Jacobi sweep: u += omega * (Jacobi(u) - u)."""
+    padded = np.empty(len(u) + 2)
+    padded[0], padded[-1] = left_ghost, right_ghost
+    padded[1:-1] = u
+    jacobi = 0.5 * (padded[:-2] + padded[2:] + f)
+    return u + OMEGA * (jacobi - u)
+
+
+def _residual_norm(comm, u, f, left_ghost, right_ghost):
+    r = _residual(u, f, left_ghost, right_ghost)
+    total = yield from comm.allreduce(float(r @ r), nbytes=64)
+    return total
+
+
+def mg_main(sys, argv):
+    """NAS MG rank: multigrid V-cycles with halo exchanges."""
+    fp = NAS_FOOTPRINTS["mg"]
+    cycles = iters_from_argv(argv, fp)
+    scale = yield from nas_env_scale(sys)
+    comm = yield from mpi_init(sys)
+    yield from allocate_footprint(sys, fp, scale, comm.size)
+
+    rng = np.random.default_rng(1618 + comm.rank)
+    f = rng.standard_normal(LOCAL_FINE) * 0.01
+    u = np.zeros(LOCAL_FINE)
+
+    lg, rg = yield from _halo_exchange(comm, u, 100)
+    first = yield from _residual_norm(comm, u, f, lg, rg)
+    norms = [first]
+    for cycle in range(cycles):
+        # descend: relax, then restrict the residual to the coarser level
+        grids = [(u, f)]
+        for level in range(1, LEVELS):
+            cu, cf = grids[-1]
+            lg, rg = yield from _halo_exchange(comm, cu, 100 * (level + 1) + cycle * 17)
+            cu = _relax(cu, cf, lg, rg)
+            grids[-1] = (cu, cf)
+            residual = _residual(cu, cf, lg, rg)
+            grids.append((np.zeros(len(cu) // 2), residual[::2].copy()))
+        # ascend: prolong the coarse correction, relax again
+        for level in range(LEVELS - 1, 0, -1):
+            fine_u, fine_f = grids[level - 1]
+            coarse_u, _ = grids[level]
+            fine_u = fine_u + np.repeat(coarse_u, 2)[: len(fine_u)]
+            lg, rg = yield from _halo_exchange(
+                comm, fine_u, 10_000 * level + cycle * 23
+            )
+            grids[level - 1] = (_relax(fine_u, fine_f, lg, rg), fine_f)
+        u, f = grids[0]
+        yield from sys.cpu(fp.cpu_per_iter * scale)
+        lg, rg = yield from _halo_exchange(comm, u, 999_000 + cycle)
+        norm = yield from _residual_norm(comm, u, f, lg, rg)
+        norms.append(norm)
+
+    assert norms[-1] < norms[0], norms  # verification: smoother converges
+    yield from comm.finalize()
+    return norms[-1]

@@ -1,0 +1,84 @@
+"""NAS SP (Scalar Pentadiagonal) and BT (Block Tridiagonal), class C.
+
+Both are alternating-direction implicit solvers on a square process
+grid ("36 processes since the software requires a square number").
+Each iteration sweeps the x-, y- and z-directions; every sweep
+exchanges boundary faces with the four grid neighbours.  BT moves
+larger faces and carries the biggest per-rank memory of the suite --
+which is why its bars dominate Figure 4c.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.apps.nas.common import (
+    NAS_FOOTPRINTS,
+    NasFootprint,
+    allocate_footprint,
+    iters_from_argv,
+    nas_env_scale,
+)
+from repro.mpi.api import mpi_init
+
+FACE = 16  # local face edge (miniature)
+
+
+def _grid_coords(rank: int, size: int) -> tuple[int, int, int]:
+    side = int(math.isqrt(size))
+    if side * side != size:
+        raise ValueError(f"SP/BT require a square process count, got {size}")
+    return rank % side, rank // side, side
+
+
+def _adi_sweeps(sys, comm, fp: NasFootprint, u, it: int, scale: float):
+    """One ADI iteration: x, y, z sweeps with neighbour face exchanges."""
+    x, y, side = _grid_coords(comm.rank, comm.size)
+    east = y * side + (x + 1) % side
+    west = y * side + (x - 1) % side
+    north = ((y + 1) % side) * side + x
+    south = ((y - 1) % side) * side + x
+    for sweep, (to, frm) in enumerate([(east, west), (north, south), (east, west)]):
+        face = u[:, 0].copy()
+        tag = 5000 + it * 31 + sweep
+        incoming = yield from comm.sendrecv(to, face, fp.msg_bytes, frm, tag=tag)
+        u = 0.95 * u
+        u[:, -1] += 0.05 * incoming
+        u = u + 0.01 * np.roll(u, 1, axis=sweep % 2)
+        yield from sys.cpu(fp.cpu_per_iter * scale / 3.0)
+    return u
+
+
+def _adi_main(sys, argv, name: str):
+    fp = NAS_FOOTPRINTS[name]
+    iters = iters_from_argv(argv, fp)
+    scale = yield from nas_env_scale(sys)
+    comm = yield from mpi_init(sys)
+    _grid_coords(comm.rank, comm.size)  # validate square layout early
+    yield from allocate_footprint(sys, fp, scale, comm.size)
+
+    rng = np.random.default_rng(161 + comm.rank)
+    u = rng.standard_normal((FACE, FACE))
+    norms = []
+    for it in range(iters):
+        u = yield from _adi_sweeps(sys, comm, fp, u, it, scale)
+        total = yield from comm.allreduce(float(np.abs(u).sum()), nbytes=64)
+        norms.append(total)
+
+    # verification: the damped ADI operator is a contraction here
+    assert all(np.isfinite(n) for n in norms)
+    assert norms[-1] < norms[0], norms
+    yield from comm.finalize()
+    return norms[-1]
+
+
+def sp_main(sys, argv):
+    """NAS SP rank (alternating-direction sweeps, square grid)."""
+    return (yield from _adi_main(sys, argv, "sp"))
+
+
+def bt_main(sys, argv):
+    """NAS BT rank (like SP with bigger blocks -- the suite's largest)."""
+    return (yield from _adi_main(sys, argv, "bt"))

@@ -1,0 +1,104 @@
+"""An interactive-analysis workload with a serializable workspace.
+
+Models the paper's two-phase pattern (Section 1): a CPU-intensive sweep
+producing results, followed by interactive analysis.  The workload
+implements the :class:`~repro.core.export.SerializableWorkload` protocol,
+so its checkpoints can be exported to a *real host file* and revived in
+a fresh simulation -- the cluster-to-laptop migration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.export import WORKSPACE_KEY
+from repro.kernel.process import ProgramSpec, RegionSpec
+
+MB = 2**20
+
+NOTEBOOK_SPEC = ProgramSpec(
+    "notebook",
+    regions=(
+        RegionSpec("code", 4 * MB, "code"),
+        RegionSpec("heap", 8 * MB, "text"),
+    ),
+)
+
+
+class NotebookWorkspace:
+    """The analysis session's state: sweep results so far."""
+
+    def __init__(self, total_steps: int):
+        self.total_steps = total_steps
+        self.next_step = 0
+        self.results: dict[int, float] = {}
+
+    # -- SerializableWorkload protocol ---------------------------------
+    def snapshot(self) -> dict:
+        """Picklable state (SerializableWorkload protocol)."""
+        return {
+            "total_steps": self.total_steps,
+            "next_step": self.next_step,
+            "results": dict(self.results),
+        }
+
+    def program_name(self) -> str:
+        """Program that revives this state (SerializableWorkload)."""
+        return "notebook"
+
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "NotebookWorkspace":
+        """Rebuild the workspace from an exported snapshot."""
+        ws = cls(state["total_steps"])
+        ws.next_step = state["next_step"]
+        ws.results = dict(state["results"])
+        return ws
+
+    # -- the computation itself ------------------------------------------
+    def compute_step(self, step: int) -> float:
+        """One sweep step: a real, deterministic numeric computation."""
+        # a real (deterministic) computation: partial zeta-like sums
+        k = np.arange(1, 2000)
+        return float(np.sum(1.0 / (k ** (1.0 + step / 100.0))))
+
+
+def register_notebook(world) -> None:
+    """Register the notebook program with a world."""
+
+    def notebook_main(sys, argv):
+        """argv: notebook [total_steps].
+
+        If the process carries an imported workspace (planted by
+        :func:`repro.core.export.import_workspace`), the sweep resumes
+        where the exported session left off.
+        """
+        from repro.core.hijack import WrappedSys
+
+        rpid = yield from sys.getpid()
+        host = yield from sys.gethostname()
+        if isinstance(sys, WrappedSys):
+            process = sys.rt.process
+        else:
+            process = world.find_process(host, rpid)
+
+        imported = process.user_state.pop("workspace_import", None)
+        if imported is not None:
+            workspace = NotebookWorkspace.from_snapshot(imported.app_state)
+        else:
+            total = int(argv[1]) if len(argv) > 1 else 50
+            workspace = NotebookWorkspace(total)
+        process.user_state[WORKSPACE_KEY] = workspace
+        yield from sys.sbrk(16 * MB, "numeric")  # the sweep's working arrays
+
+        while workspace.next_step < workspace.total_steps:
+            step = workspace.next_step
+            yield from sys.cpu(0.05)
+            workspace.results[step] = workspace.compute_step(step)
+            workspace.next_step = step + 1
+            yield from sys.sleep(0.05)
+        process.user_state["notebook_done"] = True
+        # interactive phase: idle at the "prompt"
+        while True:
+            yield from sys.sleep(0.5)
+
+    world.register_program("notebook", notebook_main, NOTEBOOK_SPEC)

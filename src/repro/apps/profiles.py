@@ -1,0 +1,146 @@
+"""Calibrated footprints for the Figure 3 desktop applications.
+
+Each profile describes the application as the checkpointer sees it:
+how much mapped memory of which content class (machine code and shared
+libraries; interpreter text/bytecode and strings; numeric working set;
+untouched allocations), how many processes and threads implement it, and
+whether it owns a pseudo-terminal.
+
+Sizes are calibrated so that the *compressed* image (real zlib ratios,
+see repro.core.compression) lands near the paper's Figure 3b bars, e.g.
+MATLAB ~30 MB compressed, bc ~2 MB, TightVNC+twm ~25 MB.  Checkpoint
+times then follow from the gzip throughput model without further tuning
+-- that emergent agreement (MATLAB ~2 s, bc ~0.1 s) is the calibration
+check, not an input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+MB = 2**20
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """One desktop application as seen by MTCP."""
+
+    name: str
+    #: (kind, size_bytes, content_profile) regions of the main process.
+    regions: tuple = ()
+    #: Footprints of helper processes (each a tuple of regions).
+    helpers: tuple = ()
+    #: Extra worker threads in the main process.
+    threads: int = 0
+    #: Interactive apps own a pty (their controlling terminal).
+    pty: bool = True
+    #: Helpers connected by pipes (vim|cscope) instead of unix sockets.
+    helper_link: str = "socketpair"
+    description: str = ""
+
+
+def _r(code_mb=0.0, text_mb=0.0, numeric_mb=0.0, zero_mb=0.0, sparse_mb=0.0):
+    regions = [("code", int(code_mb * MB), "code")]
+    if text_mb:
+        regions.append(("heap", int(text_mb * MB), "text"))
+    if numeric_mb:
+        regions.append(("heap", int(numeric_mb * MB), "numeric"))
+    if zero_mb:
+        regions.append(("anon", int(zero_mb * MB), "zero"))
+    if sparse_mb:
+        regions.append(("heap", int(sparse_mb * MB), "sparse"))
+    regions.append(("stack", 256 * 1024, "random"))
+    return tuple(regions)
+
+
+#: The Section 5.1 suite, in the paper's (alphabetical) order.
+APP_PROFILES: dict[str, AppProfile] = {
+    "bc": AppProfile(
+        "bc", _r(code_mb=1.5, text_mb=2), description="arbitrary precision calculator"
+    ),
+    "emacs": AppProfile(
+        "emacs", _r(code_mb=11, text_mb=28, numeric_mb=2), description="text editor"
+    ),
+    "ghci": AppProfile(
+        "ghci", _r(code_mb=16, text_mb=18, zero_mb=40), description="Glasgow Haskell interpreter"
+    ),
+    "ghostscript": AppProfile(
+        "ghostscript", _r(code_mb=9, text_mb=10, numeric_mb=6), description="PostScript interpreter"
+    ),
+    "gnuplot": AppProfile(
+        "gnuplot", _r(code_mb=6, text_mb=6, numeric_mb=4), description="plotting program"
+    ),
+    "gst": AppProfile(
+        "gst", _r(code_mb=6, text_mb=10, zero_mb=8), description="GNU Smalltalk VM"
+    ),
+    "lynx": AppProfile(
+        "lynx", _r(code_mb=5, text_mb=8), description="command-line web browser"
+    ),
+    "macaulay2": AppProfile(
+        "macaulay2",
+        _r(code_mb=18, text_mb=22, numeric_mb=10),
+        description="algebraic geometry system",
+    ),
+    "matlab": AppProfile(
+        "matlab",
+        _r(code_mb=30, text_mb=25, numeric_mb=25, zero_mb=60),
+        threads=3,
+        description="technical computing environment",
+    ),
+    "mzscheme": AppProfile(
+        "mzscheme", _r(code_mb=8, text_mb=14, zero_mb=6), description="PLT Scheme"
+    ),
+    "ocaml": AppProfile(
+        "ocaml", _r(code_mb=4, text_mb=8), description="Objective Caml toplevel"
+    ),
+    "octave": AppProfile(
+        "octave",
+        _r(code_mb=12, text_mb=12, numeric_mb=12, zero_mb=10),
+        description="numerical computing language",
+    ),
+    "perl": AppProfile(
+        "perl", _r(code_mb=4, text_mb=12), description="Perl interpreter"
+    ),
+    "php": AppProfile(
+        "php", _r(code_mb=7, text_mb=9), description="PHP interpreter"
+    ),
+    "python": AppProfile(
+        "python", _r(code_mb=5, text_mb=12, zero_mb=4), description="Python interpreter"
+    ),
+    "ruby": AppProfile(
+        "ruby", _r(code_mb=5, text_mb=12), description="Ruby interpreter"
+    ),
+    "slsh": AppProfile(
+        "slsh", _r(code_mb=3, text_mb=6), description="S-Lang shell"
+    ),
+    "sqlite": AppProfile(
+        "sqlite", _r(code_mb=2.5, text_mb=3), description="SQLite CLI"
+    ),
+    "tclsh": AppProfile(
+        "tclsh", _r(code_mb=3, text_mb=5), description="Tcl shell"
+    ),
+    "tightvnc+twm": AppProfile(
+        "tightvnc+twm",
+        _r(code_mb=14, text_mb=12, numeric_mb=10, zero_mb=30),
+        helpers=(
+            _r(code_mb=5, text_mb=6),  # twm
+            _r(code_mb=6, text_mb=6, numeric_mb=4),  # an X client
+        ),
+        description="headless X server + window manager (Section 5.1)",
+    ),
+    "vim/cscope": AppProfile(
+        "vim/cscope",
+        _r(code_mb=5, text_mb=8),
+        helpers=(_r(code_mb=3, text_mb=8),),
+        helper_link="pipe",
+        description="editor examining a C program",
+    ),
+}
+
+#: The runCMS case study (Section 5.1): 680 MB resident, 540 dylibs,
+#: image compresses 680 -> ~225 MB (ratio ~0.33).
+RUNCMS_LIBS = 540
+RUNCMS_LIB_MB = 0.55  # 540 libs x ~0.55 MB of mapped code/relocations
+RUNCMS_HEAP_TEXT_MB = 150  # conditions/geometry strings
+RUNCMS_HEAP_NUMERIC_MB = 220  # field maps, calibration tables
+RUNCMS_ZERO_MB = 13

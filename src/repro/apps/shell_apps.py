@@ -1,0 +1,126 @@
+"""Generic desktop-application driver for the Figure 3 suite.
+
+Every profile becomes a registered program: it acquires a pty (its
+controlling terminal), maps its calibrated memory, forks its helper
+processes (window manager, cscope, ...) connected by unix socketpairs or
+pipes, starts its worker threads, and then behaves like an interactive
+application: short CPU bursts, terminal echo traffic, and periodic
+memory churn.  DMTCP sees exactly what it would see on a real desktop.
+"""
+
+from __future__ import annotations
+
+from repro.apps.profiles import APP_PROFILES, AppProfile
+from repro.kernel.process import ProgramSpec, RegionSpec
+from repro.kernel.world import World
+
+
+def _program_name(app_name: str) -> str:
+    return "app_" + app_name.replace("/", "_").replace("+", "_")
+
+
+def _minimal_spec(name: str) -> ProgramSpec:
+    # the exec-time image is tiny; the app maps its real footprint itself
+    return ProgramSpec(name, regions=(RegionSpec("code", 64 * 1024, "code"),))
+
+
+def _map_profile_regions(sys, regions):
+    for kind, size, profile in regions:
+        if kind == "anon":
+            yield from sys.mmap(size, profile, kind="anon")
+        else:
+            yield from sys.sbrk(size, profile)
+
+
+def _helper_body(sys, regions, link_fd):
+    yield from _map_profile_regions(sys, regions)
+    while True:
+        # helpers wait on their IPC link and do a little work per event
+        chunk = yield from sys.recv(link_fd)
+        if chunk is None:
+            yield from sys.exit(0)
+        yield from sys.cpu(0.002)
+        yield from sys.send(link_fd, 64, data=b"ack")
+
+
+def _worker_thread(sys):
+    while True:
+        yield from sys.sleep(0.5)
+        yield from sys.cpu(0.003)
+
+
+def make_shell_app(profile: AppProfile):
+    """Build the main generator for one desktop application."""
+
+    def app_main(sys, argv):
+        # interactive session: own pty, own session
+        master = slave = None
+        if profile.pty:
+            master, slave = yield from sys.openpty()
+            yield from sys.setsid()
+            yield from sys.setctty(slave)
+
+        yield from _map_profile_regions(sys, profile.regions)
+
+        helper_fds = []
+        for helper_regions in profile.helpers:
+            if profile.helper_link == "pipe":
+                theirs_r, mine_w = yield from sys.pipe()
+                mine_r, theirs_w = yield from sys.pipe()
+
+                def helper_main(hsys, regions=helper_regions, rfd=theirs_r, wfd=theirs_w):
+                    yield from _map_profile_regions(hsys, regions)
+                    while True:
+                        chunk = yield from hsys.recv(rfd)
+                        if chunk is None:
+                            yield from hsys.exit(0)
+                        yield from hsys.cpu(0.002)
+                        yield from hsys.send(wfd, 64, data=b"ack")
+
+                yield from sys.fork(helper_main)
+                helper_fds.append((mine_w, mine_r))
+            else:
+                mine, theirs = yield from sys.socketpair()
+
+                def helper_main(hsys, regions=helper_regions, fd=theirs):
+                    yield from _helper_body(hsys, regions, fd)
+
+                yield from sys.fork(helper_main)
+                yield from sys.close(theirs)
+                helper_fds.append((mine, mine))
+
+        for _ in range(profile.threads):
+            yield from sys.thread_create(_worker_thread)
+
+        # interactive steady state
+        beat = 0
+        while True:
+            yield from sys.sleep(0.25)
+            yield from sys.cpu(0.004)
+            beat += 1
+            if profile.pty and beat % 4 == 0:
+                # keystroke echo through the terminal
+                yield from sys.send(master, 8, data=b"input\n")
+                yield from sys.recv(slave)
+                yield from sys.send(slave, 16, data=b"output")
+                yield from sys.recv(master)
+            if helper_fds and beat % 5 == 0:
+                for wfd, rfd in helper_fds:
+                    yield from sys.send(wfd, 128, data=b"request")
+                    yield from sys.recv(rfd)
+
+    return app_main
+
+
+def register_shell_apps(world: World) -> None:
+    """Register every Figure 3 application with a world."""
+    for name, profile in APP_PROFILES.items():
+        prog = _program_name(name)
+        world.register_program(prog, make_shell_app(profile), _minimal_spec(prog))
+
+
+def program_for(app_name: str) -> str:
+    """Program name registered for a Figure 3 application."""
+    if app_name not in APP_PROFILES:
+        raise KeyError(f"unknown Figure 3 app {app_name!r}")
+    return _program_name(app_name)

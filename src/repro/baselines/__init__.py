@@ -1,0 +1,16 @@
+"""Comparator checkpointing systems from the paper's related work.
+
+* :mod:`repro.baselines.dejavu` -- a DejaVu-style transparent user-level
+  checkpointer (Ruscio et al.): message logging plus page-protection
+  write tracking, the "more invasive approach" Section 2 contrasts with
+  DMTCP's approach of paying nothing between checkpoints;
+* :mod:`repro.baselines.blcr` -- a BLCR-style kernel-module single-node
+  checkpointer, which by itself "can only checkpoint processes on a
+  single machine" -- the bench demonstrates exactly that failure mode on
+  a distributed job.
+"""
+
+from repro.baselines.blcr import BlcrCheckpointer
+from repro.baselines.dejavu import DEJAVU_ENV, DejavuComputation
+
+__all__ = ["BlcrCheckpointer", "DEJAVU_ENV", "DejavuComputation"]

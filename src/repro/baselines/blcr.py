@@ -1,0 +1,75 @@
+"""A BLCR-style kernel-module checkpointer (Hargrove & Duell).
+
+Section 2: "BLCR is particularly notable because of its widespread
+usage.  BLCR itself can only checkpoint processes on a single machine"
+-- distributed jobs need an MPI library integrated with it.  The model
+checkpoints a process tree on one node from kernel context (no gzip, no
+coordination) and *refuses* whenever a socket crosses the node boundary,
+which is precisely the gap DMTCP fills.
+"""
+
+from __future__ import annotations
+
+from repro.core import compression
+from repro.errors import CheckpointError
+from repro.kernel.process import Process
+from repro.kernel.sockets import SocketEndpoint
+from repro.kernel.world import World
+from repro.sim.tasks import TaskState
+
+
+class BlcrCheckpointer:
+    """cr_checkpoint for one node's process tree."""
+
+    def __init__(self, world: World):
+        self.world = world
+
+    def _tree(self, root: Process) -> list[Process]:
+        out, stack = [], [root]
+        while stack:
+            p = stack.pop()
+            out.append(p)
+            stack.extend(p.children)
+        return out
+
+    def checkpoint_tree(self, root: Process, path_prefix: str = "/tmp/blcr") -> float:
+        """Checkpoint ``root`` and its descendants; returns duration.
+
+        Raises :class:`CheckpointError` if any process holds a socket
+        connected to a remote host -- the kernel module has no drain
+        protocol and no peer coordination.
+        """
+        procs = self._tree(root)
+        for proc in procs:
+            for fd, entry in proc.fds.items():
+                desc = entry.description
+                if isinstance(desc, SocketEndpoint) and desc.peer is not None:
+                    if desc.peer.node is not desc.node:
+                        raise CheckpointError(
+                            f"BLCR: pid {proc.pid} fd {fd} is connected to "
+                            f"{desc.peer.node.hostname}; kernel-level checkpointing "
+                            "cannot checkpoint cross-machine sockets"
+                        )
+        t0 = self.world.engine.now
+        frozen = []
+        writes = []
+        for proc in procs:
+            for thread in proc.user_threads:
+                task = thread.task
+                if task is not None and not task.done and task.state is not TaskState.FROZEN:
+                    task.freeze()
+                    frozen.append(task)
+            est = compression.estimate(
+                [(r.size, r.profile.name) for r in proc.address_space.regions],
+                self.world.spec.cpu,
+                enabled=False,  # BLCR writes raw images from kernel context
+            )
+            writes.append(proc.node.disk.write(est.output_bytes))
+        done = {"n": 0}
+        for w in writes:
+            w.add_done(lambda: done.__setitem__("n", done["n"] + 1))
+        self.world.engine.run_until(lambda: done["n"] == len(writes))
+        for task in frozen:
+            if not task.done:
+                task.thaw()
+        return self.world.engine.now - t0

@@ -1,0 +1,162 @@
+"""A DejaVu-style transparent checkpointer (Ruscio et al., IPDPS 2007).
+
+Section 2: "DejaVu takes a more invasive approach than DMTCP, by logging
+all communication and by using page protection to detect modification of
+memory pages between checkpoints.  This accounts for additional overhead
+during normal program execution that is not present in DMTCP."  On the
+Chombo benchmark they report ~45% overhead at ten checkpoints per hour.
+
+The model charges exactly those two taxes while the application runs:
+
+* every ``send``/``send_chunk`` is copied into an in-memory log and
+  asynchronously appended to disk (per-byte CPU cost + disk traffic);
+* every page dirtied after a checkpoint takes a write-protection fault
+  (per-page cost, charged through ``mem_touch``/``sbrk``/``mmap``).
+
+Its upside is also modelled: checkpoints are *incremental* -- only pages
+dirtied since the previous checkpoint are written.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.kernel.syscalls import Sys
+from repro.kernel.world import World
+from repro.sim.tasks import TaskState
+
+DEJAVU_ENV = "DEJAVU_CKPT"
+
+#: Cost of one write-protection fault + SIGSEGV handler round trip.
+FAULT_COST_S = 20e-6
+#: Per-byte cost of copying sent data into the message log.
+LOG_COPY_BPS = 400e6
+PAGE = 4096
+
+
+@dataclass
+class DejavuStats:
+    """Per-process tally of the checkpointer's runtime taxes."""
+
+    faults: int = 0
+    logged_bytes: float = 0.0
+    overhead_seconds: float = 0.0
+    checkpoints: list = field(default_factory=list)  # (time, bytes_written)
+
+
+class DejavuSys(Sys):
+    """Interposer charging logging + fault-tracking taxes."""
+
+    def __init__(self, raw: Sys, world: World, process, stats: DejavuStats):
+        self.raw = raw
+        self.world = world
+        self.process = process
+        self.stats = stats
+
+    def _charge(self, seconds: float):
+        self.stats.overhead_seconds += seconds
+        return self.raw.cpu(seconds)
+
+    # -- page-protection tracking --------------------------------------
+    def _fault_cost(self, nbytes: float, fraction: float = 1.0) -> float:
+        pages = max(int(nbytes * fraction / PAGE), 1)
+        self.stats.faults += pages
+        return pages * FAULT_COST_S
+
+    def sbrk(self, nbytes, profile="text"):
+        """sbrk wrapper: new pages start write-protected (fault cost)."""
+        rid = yield from self.raw.sbrk(nbytes, profile)
+        yield from self._charge(self._fault_cost(nbytes))
+        return rid
+
+    def mmap(self, size, profile="zero", shared=False, path=None, kind="anon"):
+        """mmap wrapper: new mappings start write-protected."""
+        rid = yield from self.raw.mmap(size, profile, shared, path, kind)
+        yield from self._charge(self._fault_cost(size))
+        return rid
+
+    def mem_touch(self, region_id, fraction=1.0):
+        """mem_touch wrapper: each dirtied page takes a protection fault."""
+        result = yield from self.raw.mem_touch(region_id, fraction)
+        region = self.process.address_space.find(region_id)
+        yield from self._charge(self._fault_cost(region.size, fraction))
+        return result
+
+    # -- message logging -------------------------------------------------
+    def _log_send(self, nbytes: int):
+        self.stats.logged_bytes += nbytes
+        yield from self._charge(nbytes / LOG_COPY_BPS)
+        # async append to the local log file; contends with checkpoints
+        self.process.node.disk.write(nbytes)
+
+    def send(self, fd, nbytes, data=None, ctrl=None):
+        """send wrapper: the message is copied into the log first."""
+        yield from self._log_send(nbytes)
+        return (yield from self.raw.send(fd, nbytes, data, ctrl))
+
+    def send_chunk(self, fd, chunk, force=False):
+        """send_chunk wrapper: logged like send."""
+        yield from self._log_send(chunk.nbytes)
+        return (yield from self.raw.send_chunk(fd, chunk, force))
+
+
+class DejavuComputation:
+    """Host-side driver for DejaVu-checkpointed programs."""
+
+    def __init__(self, world: World):
+        self.world = world
+        self.stats_by_pid: dict[int, DejavuStats] = {}
+        world.interpose_factories[DEJAVU_ENV] = self._factory
+        self.processes: list = []
+
+    def _factory(self, world: World, process, base: Sys) -> Sys:
+        stats = DejavuStats()
+        self.stats_by_pid[process.pid] = stats
+        process.user_state["dejavu_stats"] = stats
+        return DejavuSys(base, world, process, stats)
+
+    def launch(self, hostname: str, program: str, argv: Optional[list] = None, env: Optional[dict] = None):
+        """Run a program under the DejaVu-style checkpointer."""
+        merged = {DEJAVU_ENV: "1"}
+        merged.update(env or {})
+        proc = self.world.spawn_process(hostname, program, argv or [program], merged)
+        self.processes.append(proc)
+        return proc
+
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> float:
+        """Coordinated incremental checkpoint of every DejaVu process.
+
+        Suspends everything, writes only the pages dirtied since the last
+        checkpoint, resumes.  Returns the checkpoint duration.
+        """
+        t0 = self.world.engine.now
+        victims = [p for p in self.world.live_processes() if p.env.get(DEJAVU_ENV)]
+        frozen = []
+        writes = []
+        for proc in victims:
+            for thread in proc.user_threads:
+                task = thread.task
+                if task is not None and not task.done and task.state is not TaskState.FROZEN:
+                    task.freeze()
+                    frozen.append(task)
+            dirty = sum(r.size * r.dirty_fraction for r in proc.address_space.regions)
+            for region in proc.address_space.regions:
+                region.clean()  # re-protect pages
+            stats = proc.user_state.get("dejavu_stats")
+            if stats is not None:
+                stats.checkpoints.append((t0, dirty))
+            writes.append(proc.node.disk.write(dirty))
+        done = {"n": 0}
+        for w in writes:
+            w.add_done(lambda: done.__setitem__("n", done["n"] + 1))
+        self.world.engine.run_until(lambda: done["n"] == len(writes))
+        for task in frozen:
+            if not task.done:
+                task.thaw()
+        return self.world.engine.now - t0
+
+    def total_overhead_seconds(self) -> float:
+        """CPU seconds charged to logging + fault tracking so far."""
+        return sum(s.overhead_seconds for s in self.stats_by_pid.values())

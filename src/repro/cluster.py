@@ -1,0 +1,31 @@
+"""One-call cluster construction.
+
+>>> world = build_cluster(n_nodes=4)
+>>> world.register_program("hello", hello_main)
+>>> world.spawn_process("node00", "hello")
+>>> world.engine.run()
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import CLUSTER_2008, HardwareSpec
+from repro.hardware.topology import build_machine
+from repro.kernel.world import World
+from repro.sim.engine import Engine
+from repro.sim.rng import RandomStreams
+
+
+def build_cluster(
+    n_nodes: int = 1,
+    spec: Optional[HardwareSpec] = None,
+    seed: int = 0,
+    with_san: bool = False,
+    pid_max: int = 30000,
+) -> World:
+    """Build a ready-to-use simulated cluster kernel."""
+    spec = spec or CLUSTER_2008
+    engine = Engine()
+    machine = build_machine(engine, spec, n_nodes, RandomStreams(seed), with_san=with_san)
+    return World(machine, seed=seed, pid_max=pid_max)

@@ -1,0 +1,22 @@
+"""DMTCP: the paper's contribution, rebuilt on the simulated cluster.
+
+Two layers, exactly as in Section 4:
+
+* the **DMTCP layer** (distributed): coordinator and barriers
+  (:mod:`repro.core.coordinator`), hijack wrappers and connection table
+  (:mod:`repro.core.hijack`), the 7-stage checkpoint protocol run by the
+  per-process manager thread (:mod:`repro.core.manager`), restart with
+  the discovery service (:mod:`repro.core.restart`), pid virtualization
+  (:mod:`repro.core.pidvirt`);
+* the **MTCP layer** (single-process): image write/restore
+  (:mod:`repro.core.mtcp`) and the compression pipeline
+  (:mod:`repro.core.compression`).
+
+End users drive it like the real package, via :mod:`repro.core.launch`:
+``dmtcp_checkpoint``, ``dmtcp_command --checkpoint``, ``dmtcp_restart``.
+"""
+
+from repro.core.launch import DmtcpComputation, dmtcp_checkpoint
+from repro.core.imagefile import CheckpointImage
+
+__all__ = ["CheckpointImage", "DmtcpComputation", "dmtcp_checkpoint"]

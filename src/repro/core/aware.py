@@ -1,0 +1,112 @@
+"""The dmtcpaware programming interface (Section 3.1).
+
+"This library allows the application to: test if it is running under
+DMTCP; request checkpoints; delay checkpoints during a critical section
+of code; query DMTCP status; and insert hook functions before/after
+checkpointing or restart."
+
+Functions take the application's ``sys`` handle; they are no-ops (or
+benign defaults) when the process is not running under DMTCP, so code
+linked against dmtcpaware runs unchanged outside the checkpointer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core import protocol as P
+from repro.core.hijack import DmtcpRuntime, WrappedSys
+from repro.kernel.streams import FrameAssembler
+from repro.kernel.syscalls import Sys, connect_retry, recv_frame, send_frame
+
+HOOK_NAMES = ("pre-checkpoint", "post-checkpoint", "post-restart")
+
+
+def _runtime(sys: Sys) -> Optional[DmtcpRuntime]:
+    return sys.rt if isinstance(sys, WrappedSys) else None
+
+
+def dmtcp_is_enabled(sys: Sys) -> bool:
+    """Is this process running under DMTCP?"""
+    return _runtime(sys) is not None
+
+
+def dmtcp_status(sys: Sys) -> dict:
+    """Query the local library's view of the computation."""
+    rt = _runtime(sys)
+    if rt is None:
+        return {"enabled": False}
+    return {
+        "enabled": True,
+        "vpid": rt.vpid,
+        "checkpoints": rt.checkpoints_done,
+        "restarts": rt.restarts_done,
+        "in_checkpoint": rt.in_checkpoint,
+    }
+
+
+def dmtcp_delay_checkpoints(sys: Sys) -> None:
+    """Enter a critical section: checkpoints are held until allowed."""
+    rt = _runtime(sys)
+    if rt is not None:
+        rt.delay_count += 1
+
+
+def dmtcp_allow_checkpoints(sys: Sys) -> None:
+    """Leave a critical section entered by dmtcp_delay_checkpoints."""
+    rt = _runtime(sys)
+    if rt is not None and rt.delay_count > 0:
+        rt.delay_count -= 1
+
+
+def dmtcp_install_hook(sys: Sys, name: str, fn: Callable[[dict], None]) -> None:
+    """Register a before/after checkpoint-or-restart hook.
+
+    Hooks are synchronous callbacks receiving an event dict; they must
+    not block (the real API has the same constraint in signal context).
+    """
+    if name not in HOOK_NAMES:
+        raise ValueError(f"unknown hook {name!r}; choose from {HOOK_NAMES}")
+    rt = _runtime(sys)
+    if rt is not None:
+        rt.hooks[name] = fn
+
+
+def dmtcp_mark_external(sys: Sys, fd: int) -> None:
+    """Mark a listener as accepting *external* (non-DMTCP) peers.
+
+    Connections accepted on it skip the DMTCP handshake, are closed at
+    checkpoint time, and are not restored -- the TightVNC pattern
+    (Section 5.1): "clients can connect with (uncheckpointed)
+    vncviewers"; viewers simply reconnect after a restart.
+    """
+    rt = _runtime(sys)
+    if rt is None:
+        return
+    info = rt.conn_table.get(fd)
+    if info is not None:
+        info.external = True
+
+
+def dmtcp_checkpoint_request(sys: Sys):
+    """Request a checkpoint of the whole computation (``yield from``).
+
+    Blocks until the checkpoint completes.  Returns True if a checkpoint
+    was taken, False when not running under DMTCP.
+    """
+    rt = _runtime(sys)
+    if rt is None:
+        return False
+        yield  # pragma: no cover - keeps this a generator
+    raw = sys.raw
+    host = rt.process.env["DMTCP_COORD_HOST"]
+    port = int(rt.process.env["DMTCP_COORD_PORT"])
+    fd = yield from raw.socket()
+    yield from connect_retry(raw, fd, host, port)
+    yield from send_frame(
+        raw, fd, P.msg(P.MSG_COMMAND, cmd="checkpoint", options={}, arg=""), P.CTL_FRAME_BYTES
+    )
+    asm = FrameAssembler()
+    reply = yield from recv_frame(raw, fd, asm)
+    yield from raw.close(fd)
+    return bool(reply) and reply[0]["kind"] == "ok"

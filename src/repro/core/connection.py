@@ -1,0 +1,107 @@
+"""Globally unique connection identifiers and the per-process table.
+
+Section 4.4: "we refer to sockets by a globally unique ID (hostid, pid,
+timestamp, per-process connection number) and thus can detect duplicates
+at restart time."  The table is recorded in process memory (user_state)
+by the hijack wrappers and written into the checkpoint image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+
+@dataclass(frozen=True, order=True)
+class ConnectionId:
+    """(hostid, pid, timestamp, per-process connection number)."""
+
+    hostid: str
+    pid: int
+    timestamp: float
+    conn_no: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.hostid}:{self.pid}:{self.timestamp:.6f}:{self.conn_no}"
+
+
+@dataclass
+class ConnectionInfo:
+    """Everything the wrappers learned about one descriptor's connection."""
+
+    conn_id: Optional[ConnectionId]
+    domain: str  # inet | unix | pair | pipe | pty
+    #: "connect" or "accept": which side of the handshake we were.  Decides
+    #: who advertises and who dials at restart (Section 4.4 step 2).
+    role: str
+    #: Remote address dialled (connector side), for diagnostics.
+    remote: Optional[tuple] = None
+    #: Local bound address, for listeners.
+    bound: Optional[tuple] = None
+    #: Is this a listener socket?
+    listener: bool = False
+    #: setsockopt values to replay at restart.
+    options: dict[str, int] = field(default_factory=dict)
+    #: pty metadata (name at checkpoint time, master/slave side).
+    pty_name: Optional[str] = None
+    pty_side: Optional[str] = None
+    #: External connection: the peer is NOT under DMTCP (e.g. a vncviewer
+    #: attached to a checkpointed TightVNC server, Section 5.1).  External
+    #: connections are closed at checkpoint time and not restored; the
+    #: peer reconnects, as VNC clients do.
+    external: bool = False
+
+    def clone(self) -> "ConnectionInfo":
+        """Copy for checkpoint images (options dict detached)."""
+        return replace(self, options=dict(self.options))
+
+
+class ConnectionTable:
+    """fd -> ConnectionInfo map living in the process's memory."""
+
+    def __init__(self) -> None:
+        self.by_fd: dict[int, ConnectionInfo] = {}
+        self.next_conn_no = 0
+
+    def new_conn_no(self) -> int:
+        """Allocate the next per-process connection number."""
+        n = self.next_conn_no
+        self.next_conn_no += 1
+        return n
+
+    def add(self, fd: int, info: ConnectionInfo) -> None:
+        """Record a new descriptor's connection info."""
+        self.by_fd[fd] = info
+
+    def get(self, fd: int) -> Optional[ConnectionInfo]:
+        """Info for ``fd``, or None if untracked."""
+        return self.by_fd.get(fd)
+
+    def drop(self, fd: int) -> None:
+        """Forget a closed descriptor."""
+        self.by_fd.pop(fd, None)
+
+    def dup(self, oldfd: int, newfd: int) -> None:
+        """dup2 shares the connection: both fds map to the same info."""
+        if oldfd in self.by_fd:
+            self.by_fd[newfd] = self.by_fd[oldfd]
+
+    def fork_copy(self) -> "ConnectionTable":
+        """Child's table after fork: same connections, distinct dict.
+
+        Infos are *shared* objects (like the underlying descriptions), so
+        a conn_id learned later by either process is visible to both --
+        matching how the real table lives in shared wrapper state keyed
+        by the kernel object, not by who recorded it.
+        """
+        dup = ConnectionTable()
+        dup.by_fd = dict(self.by_fd)
+        dup.next_conn_no = self.next_conn_no
+        return dup
+
+    def items(self):
+        """Iterate ``(fd, info)`` pairs."""
+        return self.by_fd.items()
+
+    def __len__(self) -> int:
+        return len(self.by_fd)

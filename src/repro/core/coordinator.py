@@ -1,0 +1,401 @@
+"""The checkpoint coordinator (Sections 3, 4.1, 4.3).
+
+A single ordinary process.  It implements the one global primitive the
+algorithm needs -- the cluster-wide barrier -- plus checkpoint requests
+(`dmtcp command --checkpoint`, `--interval`), collection of per-process
+stage records, generation of the restart script, and, during restart, the
+discovery service that maps globally unique connection IDs to the new
+addresses of relocated processes (Section 4.4).
+
+Control frames are small (single-chunk), so concurrent handler threads
+can write to any member connection without interleaving torn frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core import protocol as P
+from repro.core.imagefile import RestartPlan
+from repro.core.stats import CheckpointRecord
+from repro.errors import SyscallError
+from repro.kernel.streams import FrameAssembler
+from repro.kernel.syscalls import Sys, recv_frame, send_frame
+
+
+def _send_safe(sys: Sys, state: "CoordinatorState", fd: int, message: dict):
+    """Send a control frame, dropping the connection if the peer died.
+
+    A member or restarter can exit between our decision to send and the
+    send itself (kill-mode checkpoints, finished restarts); the
+    coordinator must never die over it.
+    """
+    try:
+        yield from send_frame(sys, fd, message, P.CTL_FRAME_BYTES)
+    except SyscallError:
+        _drop_connection(state, fd)
+
+
+@dataclass
+class CheckpointOutcome:
+    """Host-visible result of one completed checkpoint."""
+
+    ckpt_id: int
+    started_at: float
+    finished_at: float
+    records: list[CheckpointRecord]
+    plan: RestartPlan
+    kill: bool
+
+    @property
+    def duration(self) -> float:
+        """Wall (virtual) seconds from request to completion."""
+        return self.finished_at - self.started_at
+
+    @property
+    def total_image_bytes(self) -> int:
+        """Cluster-wide uncompressed image bytes."""
+        return sum(r.image_bytes for r in self.records)
+
+    @property
+    def total_stored_bytes(self) -> int:
+        """Cluster-wide on-disk (possibly gzipped) bytes."""
+        return sum(r.stored_bytes for r in self.records)
+
+
+@dataclass
+class RestartOutcome:
+    """Host-visible result of one completed restart."""
+
+    started_at: float
+    finished_at: float
+    records: list[dict]
+
+    @property
+    def duration(self) -> float:
+        """Wall (virtual) seconds from first restarter to resumed app."""
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class CoordinatorState:
+    """Shared between the coordinator program and the host-side harness."""
+
+    port: int
+    interval: float = 0.0
+    #: member fd -> info dict (host, vpid, program, restart)
+    members: dict[int, dict] = field(default_factory=dict)
+    phase: str = "idle"  # idle | checkpoint | restart
+    quorum: int = 0
+    barrier_arrivals: dict[str, set] = field(default_factory=dict)
+    ckpt_id: int = 0
+    ckpt_options: dict = field(default_factory=dict)
+    ckpt_started_at: float = 0.0
+    pending_command_fds: list[int] = field(default_factory=list)
+    records: list[CheckpointRecord] = field(default_factory=list)
+    images_by_host: dict[str, list[str]] = field(default_factory=dict)
+    #: completed checkpoints, newest last
+    history: list[CheckpointOutcome] = field(default_factory=list)
+    #: restart machinery
+    restarter_fds: set = field(default_factory=set)
+    restart_total: int = 0
+    restart_done: int = 0
+    restart_started_at: float = 0.0
+    restart_records: list[dict] = field(default_factory=list)
+    restart_history: list[RestartOutcome] = field(default_factory=list)
+    adverts: dict[str, tuple] = field(default_factory=dict)
+    #: host-side callbacks fired on completion events
+    on_checkpoint_complete: list[Callable[[CheckpointOutcome], None]] = field(default_factory=list)
+    on_restart_complete: list[Callable[[RestartOutcome], None]] = field(default_factory=list)
+    #: total barrier messages processed (ablation: coordinator load)
+    barrier_messages: int = 0
+    #: aggregated arrivals from barrier relays (distributed-coordinator
+    #: mode): name -> count, and the relay fds to release through
+    barrier_counts: dict[str, int] = field(default_factory=dict)
+    barrier_relay_fds: dict[str, set] = field(default_factory=dict)
+    #: members that already delivered their CKPT_DONE this checkpoint
+    #: (their subsequent disconnect -- kill mode -- is expected)
+    done_fds: set = field(default_factory=set)
+
+    @property
+    def member_count(self) -> int:
+        """Number of connected checkpointed processes."""
+        return len(self.members)
+
+    @property
+    def last_checkpoint(self) -> Optional[CheckpointOutcome]:
+        """The most recent completed checkpoint, if any."""
+        return self.history[-1] if self.history else None
+
+
+def make_coordinator_program(state: CoordinatorState):
+    """Build the coordinator's main generator (registered as a program)."""
+
+    def coordinator_main(sys: Sys, argv):
+        """Accept manager/command/restart connections forever."""
+        lfd = yield from sys.socket()
+        yield from sys.bind(lfd, state.port)
+        yield from sys.listen(lfd, backlog=1024)
+        # always armed: `dmtcp command --interval N` can enable it later
+        yield from sys.thread_create(_interval_timer, state)
+        while True:
+            cfd = yield from sys.accept(lfd)
+            yield from sys.thread_create(_handle_connection, state, cfd)
+
+    return coordinator_main
+
+
+def _interval_timer(sys: Sys, state: CoordinatorState):
+    """--interval N: request a checkpoint every N seconds while idle."""
+    while True:
+        yield from sys.sleep(state.interval if state.interval > 0 else 1.0)
+        if state.interval > 0 and state.phase == "idle" and state.members:
+            yield from _start_checkpoint(sys, state, {})
+
+
+def _handle_connection(sys: Sys, state: CoordinatorState, cfd: int):
+    asm = FrameAssembler()
+    while True:
+        result = yield from recv_frame(sys, cfd, asm)
+        if result is None:
+            yield from _handle_disconnect(sys, state, cfd)
+            return
+        message = result[0]
+        kind = message["kind"]
+        if kind == P.MSG_HELLO:
+            state.members[cfd] = {
+                "host": message["host"],
+                "vpid": message["vpid"],
+                "program": message["program"],
+                "restart": message.get("restart", False),
+            }
+        elif kind == P.MSG_BARRIER:
+            yield from _barrier_arrive(sys, state, cfd, message["name"], 1)
+        elif kind == "barrier-count":
+            # a relay forwards the combined arrivals of one node
+            yield from _barrier_arrive(sys, state, cfd, message["name"], message["n"], relay=True)
+        elif kind == P.MSG_CKPT_DONE:
+            yield from _ckpt_done(sys, state, cfd, message)
+        elif kind == P.MSG_COMMAND:
+            yield from _command(sys, state, cfd, message)
+        elif kind == P.MSG_RESTART_HELLO:
+            state.restarter_fds.add(cfd)
+            if state.phase != "restart":
+                state.phase = "restart"
+                state.restart_total = message["total"]
+                state.restart_done = 0
+                state.restart_records = []
+                state.restart_started_at = message.get("t0", 0.0)
+                state.adverts = {}
+            # replay adverts that arrived before this restarter connected
+            for key, (host, port) in state.adverts.items():
+                yield from _send_safe(
+                    sys, state, cfd, P.msg(P.MSG_ADVERTISE_BCAST, key=key, host=host, port=port)
+                )
+        elif kind == P.MSG_ADVERTISE:
+            key = message["key"]
+            state.adverts[key] = (message["host"], message["port"])
+            for rfd in list(state.restarter_fds):
+                yield from _send_safe(
+                    sys,
+                    state,
+                    rfd,
+                    P.msg(P.MSG_ADVERTISE_BCAST, key=key, host=message["host"], port=message["port"]),
+                )
+        elif kind == P.MSG_GOODBYE:
+            _drop_connection(state, cfd)
+            return
+
+
+def _drop_connection(state: CoordinatorState, cfd: int) -> None:
+    state.members.pop(cfd, None)
+    state.restarter_fds.discard(cfd)
+    for arrivals in state.barrier_arrivals.values():
+        arrivals.discard(cfd)
+
+
+def _handle_disconnect(sys: Sys, state: CoordinatorState, cfd: int):
+    """A connection died.  If it was a member and a checkpoint is in
+    flight, the quorum shrinks: a process may legitimately exit between
+    the checkpoint broadcast and its suspend barrier (e.g. it finished
+    its work), and the remaining members must not wait for it forever.
+    """
+    was_member = cfd in state.members
+    _drop_connection(state, cfd)
+    if (
+        was_member
+        and state.phase == "checkpoint"
+        and state.quorum > 0
+        and cfd not in state.done_fds  # kill-mode retirement is expected
+    ):
+        state.quorum -= 1
+        for name in list(state.barrier_arrivals):
+            yield from _maybe_release(sys, state, name)
+        if state.quorum == 0 or len(state.records) >= state.quorum:
+            yield from _finish_checkpoint(sys, state)
+
+
+def _barrier_arrive(
+    sys: Sys, state: CoordinatorState, cfd: int, name: str, n: int, relay: bool = False
+):
+    state.barrier_messages += 1
+    arrivals = state.barrier_arrivals.setdefault(name, set())
+    if relay:
+        state.barrier_counts[name] = state.barrier_counts.get(name, 0) + n
+        state.barrier_relay_fds.setdefault(name, set()).add(cfd)
+    else:
+        arrivals.add(cfd)
+    yield from _maybe_release(sys, state, name)
+
+
+def _maybe_release(sys: Sys, state: CoordinatorState, name: str):
+    """Release a barrier if its quorum is (now) satisfied."""
+    arrivals = state.barrier_arrivals.get(name, set())
+    total = len(arrivals) + state.barrier_counts.get(name, 0)
+    quorum = state.restart_total if name.startswith("restart-") else state.quorum
+    if total >= quorum > 0:
+        fds = sorted(arrivals) + sorted(state.barrier_relay_fds.pop(name, set()))
+        arrivals.clear()
+        state.barrier_counts.pop(name, None)
+        for mfd in fds:
+            yield from _send_safe(sys, state, mfd, P.msg(P.MSG_BARRIER_RELEASE, name=name))
+
+
+def _start_checkpoint(sys: Sys, state: CoordinatorState, options: dict):
+    state.phase = "checkpoint"
+    state.ckpt_id += 1
+    state.quorum = len(state.members)
+    state.records = []
+    state.images_by_host = {}
+    state.ckpt_options = dict(options)
+    state.barrier_arrivals = {}
+    state.done_fds = set()
+    now = yield from sys.time()
+    state.ckpt_started_at = now
+    for mfd in sorted(state.members):
+        yield from send_frame(
+            sys,
+            mfd,
+            P.msg(
+                P.MSG_CHECKPOINT,
+                ckpt_id=state.ckpt_id,
+                kill=bool(options.get("kill")),
+                forked=bool(options.get("forked")),
+            ),
+            P.CTL_FRAME_BYTES,
+        )
+
+
+def _ckpt_done(sys: Sys, state: CoordinatorState, cfd: int, message: dict):
+    if message.get("restart"):
+        state.restart_done += 1
+        if message.get("record") is not None:
+            state.restart_records.append(message["record"])
+        if state.restart_done >= state.restart_total:
+            now = yield from sys.time()
+            outcome = RestartOutcome(
+                started_at=state.restart_started_at,
+                finished_at=now,
+                records=list(state.restart_records),
+            )
+            state.restart_history.append(outcome)
+            state.phase = "idle"
+            state.restarter_fds = set()
+            for cb in state.on_restart_complete:
+                cb(outcome)
+        return
+    state.done_fds.add(cfd)
+    state.records.append(message["record"])
+    host = message["host"]
+    state.images_by_host.setdefault(host, []).append(message["image_path"])
+    if len(state.records) >= state.quorum:
+        yield from _finish_checkpoint(sys, state)
+
+
+def _finish_checkpoint(sys: Sys, state: CoordinatorState):
+    if state.phase != "checkpoint":
+        return  # already finished (quorum shrank after the last record)
+    now = yield from sys.time()
+    plan = RestartPlan(
+        ckpt_id=state.ckpt_id,
+        coordinator_host=(yield from sys.gethostname()),
+        coordinator_port=state.port,
+        images_by_host={h: list(v) for h, v in state.images_by_host.items()},
+    )
+    # write dmtcp_restart_script.sh next to the coordinator (Section 3)
+    script_fd = yield from sys.open("/tmp/dmtcp/dmtcp_restart_script.sh", "w")
+    yield from sys.write(script_fd, len(plan.render_script()), payload=plan)
+    yield from sys.close(script_fd)
+    outcome = CheckpointOutcome(
+        ckpt_id=state.ckpt_id,
+        started_at=state.ckpt_started_at,
+        finished_at=now,
+        records=list(state.records),
+        plan=plan,
+        kill=bool(state.ckpt_options.get("kill")),
+    )
+    state.history.append(outcome)
+    state.phase = "idle"
+    for cmd_fd in state.pending_command_fds:
+        yield from send_frame(
+            sys, cmd_fd, P.msg("ok", ckpt_id=state.ckpt_id), P.CTL_FRAME_BYTES
+        )
+    state.pending_command_fds = []
+    for cb in state.on_checkpoint_complete:
+        cb(outcome)
+
+
+def _command(sys: Sys, state: CoordinatorState, cfd: int, message: dict):
+    cmd = message["cmd"]
+    if cmd == "checkpoint":
+        if state.phase != "idle":
+            yield from send_frame(sys, cfd, P.msg("busy"), P.CTL_FRAME_BYTES)
+            return
+        state.pending_command_fds.append(cfd)
+        yield from _start_checkpoint(sys, state, message.get("options", {}))
+    elif cmd == "status":
+        yield from send_frame(
+            sys,
+            cfd,
+            P.msg(
+                "status",
+                members=state.member_count,
+                phase=state.phase,
+                checkpoints=len(state.history),
+            ),
+            P.CTL_FRAME_BYTES,
+        )
+    elif cmd == "interval":
+        state.interval = float(message["arg"])
+        yield from send_frame(sys, cfd, P.msg("ok"), P.CTL_FRAME_BYTES)
+    elif cmd == "kill":
+        # `dmtcp command --kill`: terminate the whole computation
+        for mfd in sorted(state.members):
+            yield from _send_safe(sys, state, mfd, P.msg("die"))
+        yield from send_frame(sys, cfd, P.msg("ok"), P.CTL_FRAME_BYTES)
+    else:
+        yield from send_frame(sys, cfd, P.msg("error", detail=f"unknown {cmd}"), P.CTL_FRAME_BYTES)
+
+
+def dmtcp_command_main(sys: Sys, argv):
+    """The `dmtcp command <cmd>` client (Section 3)."""
+    cmd = argv[1]
+    host = yield from sys.getenv("DMTCP_COORD_HOST")
+    port = int((yield from sys.getenv("DMTCP_COORD_PORT")))
+    fd = yield from sys.socket()
+    from repro.kernel.syscalls import connect_retry
+
+    yield from connect_retry(sys, fd, host, port)
+    options = {}
+    if "--kill" in argv:
+        options["kill"] = True
+    if "--forked" in argv:
+        options["forked"] = True
+    yield from send_frame(
+        sys, fd, P.msg(P.MSG_COMMAND, cmd=cmd, options=options, arg=argv[-1]), P.CTL_FRAME_BYTES
+    )
+    asm = FrameAssembler()
+    reply = yield from recv_frame(sys, fd, asm)
+    yield from sys.close(fd)
+    return reply[0] if reply else None

@@ -1,0 +1,126 @@
+"""Exporting checkpoints to real host files (the laptop use case).
+
+Section 1: "run the CPU-intensive portion of a computation on a powerful
+computer or cluster, and then migrate the computation to a single laptop
+for later interactive analysis at home or on a plane."
+
+Within one simulation, restart works for arbitrary programs because
+thread continuations are retained (DESIGN.md).  To cross *simulation
+instances* -- write a real file, start a fresh Python process, revive --
+the application must make its state picklable by implementing the
+:class:`SerializableWorkload` protocol.  That is the honest boundary of
+a pure-Python reproduction: machine-level continuations cannot leave the
+process, but application-level state can, exactly like the "save/restore
+workspace" commands the paper says DMTCP subsumes (use case 1).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Optional, Protocol, runtime_checkable
+
+from repro.core.imagefile import CheckpointImage, RegionImage
+from repro.errors import CheckpointError, RestartError
+
+EXPORT_MAGIC = "dmtcp-workspace-v1"
+
+#: Key under which an app publishes its workload object in user_state.
+WORKSPACE_KEY = "workspace"
+
+
+@runtime_checkable
+class SerializableWorkload(Protocol):
+    """Apps opt in to cross-simulation migration by implementing this."""
+
+    def snapshot(self) -> dict:
+        """Return picklable state capturing the computation so far."""
+        ...  # pragma: no cover
+
+    def program_name(self) -> str:
+        """The registered program that knows how to revive the state."""
+        ...  # pragma: no cover
+
+
+@dataclass
+class WorkspaceFile:
+    """What lands in the real host file."""
+
+    magic: str
+    program: str
+    argv: list
+    env: dict
+    regions: list  # [(kind, size, profile, path, shared)]
+    app_state: dict
+    vpid: int = 0
+    hostname: str = ""
+    extra: dict = field(default_factory=dict)
+
+
+def export_workspace(world, image: CheckpointImage, real_path: str) -> WorkspaceFile:
+    """Write a checkpoint image's serializable projection to a host file.
+
+    The image's process must have published a :class:`SerializableWorkload`
+    (``process.user_state["workspace"]``) before the checkpoint; its
+    snapshot was captured into ``image.app_state`` at image-build time.
+    """
+    if image.app_state is None:
+        raise CheckpointError(
+            f"image of {image.program!r} carries no serializable app state; "
+            "publish a SerializableWorkload under user_state['workspace']"
+        )
+    ws = WorkspaceFile(
+        magic=EXPORT_MAGIC,
+        program=image.app_state["__program__"],
+        argv=list(image.argv),
+        env={k: v for k, v in image.env.items() if not k.startswith("DMTCP_")},
+        regions=[(r.kind, r.size, r.profile, r.path, r.shared) for r in image.regions],
+        app_state=image.app_state,
+        vpid=image.vpid,
+        hostname=image.hostname,
+    )
+    with open(real_path, "wb") as fh:
+        pickle.dump(ws, fh)
+    return ws
+
+
+def read_workspace(real_path: str) -> WorkspaceFile:
+    """Load and validate an exported workspace file."""
+    with open(real_path, "rb") as fh:
+        ws = pickle.load(fh)
+    if getattr(ws, "magic", None) != EXPORT_MAGIC:
+        raise RestartError(f"{real_path} is not a DMTCP workspace export")
+    return ws
+
+
+def import_workspace(world, real_path: str, hostname: Optional[str] = None):
+    """Revive an exported workspace in a (possibly brand-new) simulation.
+
+    The target world must have the workload's revival program registered
+    (apps providing SerializableWorkload register a ``<name>`` program
+    whose main accepts the snapshot via ``world`` plumbing).  Memory is
+    re-mapped from the region table; the program continues from its
+    snapshot -- a cold, application-assisted restart on one node.
+    """
+    ws = read_workspace(real_path)
+    if ws.program not in world.programs:
+        raise RestartError(
+            f"program {ws.program!r} is not registered in the target world"
+        )
+    hostname = hostname or world.machine.hostnames[0]
+    env = dict(ws.env)
+    process = world.spawn_process(hostname, ws.program, list(ws.argv), env)
+    process.user_state["workspace_import"] = ws
+    return process
+
+
+def capture_app_state(process) -> Optional[dict]:
+    """Called by MTCP at image-build time: snapshot a published workload."""
+    workload = process.user_state.get(WORKSPACE_KEY)
+    if workload is None:
+        return None
+    if not isinstance(workload, SerializableWorkload):
+        return None
+    state = dict(workload.snapshot())
+    state["__program__"] = workload.program_name()
+    return state

@@ -1,0 +1,291 @@
+"""dmtcp_checkpoint / dmtcp command / dmtcp_restart, as a host-side API.
+
+:class:`DmtcpComputation` is what an end user touches.  It wires the
+pieces into a world (coordinator process, hijack factory, command and
+restart programs) and exposes the three commands from Section 3:
+
+>>> comp = dmtcp_checkpoint(world, "node00", "my_app", ["my_app"])  # launch
+>>> outcome = comp.checkpoint()                                     # dmtcp command --checkpoint
+>>> comp.restart()                                                  # dmtcp_restart_script.sh
+
+The harness-facing methods run the simulation engine until the requested
+operation completes and return structured outcomes with timings.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.coordinator import (
+    CheckpointOutcome,
+    CoordinatorState,
+    RestartOutcome,
+    dmtcp_command_main,
+    make_coordinator_program,
+)
+from repro.core.hijack import DmtcpRuntime, WrappedSys
+from repro.core.manager import manager_main
+from repro.core.restart import make_restart_program
+from repro.errors import CheckpointError, RestartError
+from repro.kernel.process import ProgramSpec, RegionSpec
+from repro.kernel.world import HIJACK_ENV, World
+
+#: Modest footprints for the DMTCP utility processes themselves.
+_COORD_SPEC = ProgramSpec(
+    "dmtcp_coordinator",
+    regions=(RegionSpec("code", 256 * 1024, "code"), RegionSpec("heap", 512 * 1024, "text")),
+)
+_UTIL_SPEC = ProgramSpec(
+    "dmtcp_util",
+    regions=(RegionSpec("code", 128 * 1024, "code"), RegionSpec("heap", 128 * 1024, "text")),
+)
+
+
+class DmtcpComputation:
+    """One coordinator plus every process launched under it."""
+
+    def __init__(
+        self,
+        world: World,
+        coordinator_host: Optional[str] = None,
+        port: int = 7779,
+        ckpt_dir: str = "/tmp/dmtcp",
+        compression: bool = True,
+        interval: float = 0.0,
+        relay: bool = False,
+    ):
+        self.world = world
+        self.coordinator_host = coordinator_host or world.machine.hostnames[0]
+        self.port = port
+        self.ckpt_dir = ckpt_dir
+        self.compression = compression
+        self.relay = relay
+        self.state = CoordinatorState(port=port, interval=interval)
+        #: connection-table stash across exec (the hijack library persists
+        #: its state across the exec boundary; Section 4.2's exec wrappers)
+        self._exec_stash: dict[tuple[str, int], DmtcpRuntime] = {}
+        self._register_programs()
+        world.hijack_factory = self._hijack_factory
+        self.coordinator_process = world.spawn_process(
+            self.coordinator_host, "dmtcp_coordinator", argv=["dmtcp_coordinator"]
+        )
+        if relay:
+            # distributed-coordinator mode (Section 6 future work): one
+            # barrier-combining relay per node
+            from repro.core.relay import RELAY_PORT, register_relay
+
+            register_relay(world)
+            self.relay_port = RELAY_PORT
+            relay_env = {
+                "DMTCP_COORD_HOST": self.coordinator_host,
+                "DMTCP_COORD_PORT": str(self.port),
+            }
+            for hostname in world.machine.hostnames:
+                world.spawn_process(hostname, "dmtcp_relay", env=relay_env)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def _register_programs(self) -> None:
+        self.world.register_program(
+            "dmtcp_coordinator", make_coordinator_program(self.state), _COORD_SPEC
+        )
+        self.world.register_program("dmtcp_command", dmtcp_command_main, _UTIL_SPEC)
+        self.world.register_program(
+            "dmtcp_restart", make_restart_program(self), _UTIL_SPEC
+        )
+
+    def base_env(self) -> dict[str, str]:
+        """Environment injected into every checkpointed process."""
+        env = {
+            HIJACK_ENV: "1",
+            "DMTCP_COORD_HOST": self.coordinator_host,
+            "DMTCP_COORD_PORT": str(self.port),
+            "DMTCP_CKPT_DIR": self.ckpt_dir,
+            "DMTCP_GZIP": "1" if self.compression else "0",
+        }
+        if self.relay:
+            env["DMTCP_RELAY_PORT"] = str(self.relay_port)
+        return env
+
+    def _hijack_factory(self, world: World, process, base_sys) -> WrappedSys:
+        """Called by the world whenever a DMTCP-env process starts."""
+        stashed = self._exec_stash.pop((process.node.hostname, process.pid), None)
+        parent_rt: Optional[DmtcpRuntime] = None
+        if process.parent is not None:
+            parent_rt = process.parent.user_state.get("dmtcp")
+        if parent_rt is not None and parent_rt.in_checkpoint:
+            # the forked-checkpointing writer child: not part of the
+            # computation, gets the raw interface and no manager thread
+            return base_sys
+        if stashed is not None:
+            runtime = stashed
+            runtime.process = process
+            runtime.conn_table.by_fd = {
+                fd: info
+                for fd, info in runtime.conn_table.by_fd.items()
+                if fd in process.fds
+            }
+        elif parent_rt is not None:
+            runtime = parent_rt.fork_child(process)
+        else:
+            runtime = DmtcpRuntime(world, process, self, vpid=process.pid)
+        process.user_state["dmtcp"] = runtime
+        wrapped = WrappedSys(base_sys, runtime)
+        runtime.sys = wrapped
+        world.spawn_thread(
+            process,
+            manager_main(runtime),
+            f"ckpt-manager[{process.pid}]",
+            kind="manager",
+        )
+        return wrapped
+
+    def stash_for_exec(self, runtime: DmtcpRuntime) -> None:
+        """exec wrapper support: the library's state survives the exec."""
+        key = (runtime.process.node.hostname, runtime.process.pid)
+        self._exec_stash[key] = runtime
+
+    def retire_checkpointed_process(self, process) -> None:
+        """--kill mode: tear the process down, keeping continuations."""
+        self.world.destroy_process(process, keep_continuations=True)
+
+    # ------------------------------------------------------------------
+    # User commands
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        hostname: str,
+        program: str,
+        argv: Optional[list[str]] = None,
+        env: Optional[dict[str, str]] = None,
+    ):
+        """``dmtcp_checkpoint <program>``: run a program under DMTCP."""
+        merged = self.base_env()
+        if env:
+            merged.update(env)
+        return self.world.spawn_process(hostname, program, argv or [program], merged)
+
+    def request_checkpoint(self, kill: bool = False, forked: bool = False):
+        """Issue ``dmtcp command --checkpoint`` (non-blocking).
+
+        Returns a handle dict whose "outcome" key is filled on completion.
+        """
+        handle: dict = {"outcome": None}
+
+        def on_complete(outcome: CheckpointOutcome) -> None:
+            if handle["outcome"] is None:
+                handle["outcome"] = outcome
+                self.state.on_checkpoint_complete.remove(on_complete)
+
+        self.state.on_checkpoint_complete.append(on_complete)
+        argv = ["dmtcp_command", "checkpoint"]
+        if kill:
+            argv.append("--kill")
+        if forked:
+            argv.append("--forked")
+        env = dict(self.base_env())
+        env.pop(HIJACK_ENV)  # utilities are not themselves checkpointed
+        self.world.spawn_process(self.coordinator_host, "dmtcp_command", argv, env)
+        return handle
+
+    def checkpoint(
+        self, kill: bool = False, forked: bool = False, timeout: float = 3600.0
+    ) -> CheckpointOutcome:
+        """Checkpoint the whole computation; block (in virtual time)."""
+        handle = self.request_checkpoint(kill=kill, forked=forked)
+        self.world.engine.run_until(lambda: handle["outcome"] is not None)
+        outcome = handle["outcome"]
+        if outcome is None:  # pragma: no cover - run_until raises first
+            raise CheckpointError("checkpoint did not complete")
+        return outcome
+
+    def kill_computation(self) -> None:
+        """Simulate cluster failure: destroy every checkpointed process."""
+        for process in list(self.world.live_processes()):
+            if process.env.get(HIJACK_ENV):
+                self.world.destroy_process(process, keep_continuations=True)
+
+    def restart(
+        self,
+        plan=None,
+        placement: Optional[dict[str, str]] = None,
+    ) -> RestartOutcome:
+        """Run the generated restart script: one dmtcp_restart per host.
+
+        ``placement`` optionally relocates an original host's processes to
+        a different host (the discovery service finds the new addresses).
+        Images are made visible on the target host first, as they would be
+        via shared storage or scp in a real migration.
+        """
+        plan = plan or (self.state.last_checkpoint.plan if self.state.last_checkpoint else None)
+        if plan is None:
+            raise RestartError("no checkpoint to restart from")
+        placement = placement or {}
+        handle: dict = {"outcome": None}
+
+        def on_complete(outcome: RestartOutcome) -> None:
+            if handle["outcome"] is None:
+                handle["outcome"] = outcome
+                self.state.on_restart_complete.remove(on_complete)
+
+        self.state.on_restart_complete.append(on_complete)
+        total = plan.total_processes
+        for orig_host, paths in sorted(plan.images_by_host.items()):
+            target = placement.get(orig_host, orig_host)
+            if target != orig_host:
+                self._copy_images(orig_host, target, paths)
+            env = dict(self.base_env())
+            env.pop(HIJACK_ENV)  # the restart process itself is not hijacked
+            self.world.spawn_process(
+                target, "dmtcp_restart", ["dmtcp_restart", str(total), *paths], env
+            )
+        self.world.engine.run_until(lambda: handle["outcome"] is not None)
+        return handle["outcome"]
+
+    def _copy_images(self, src_host: str, dst_host: str, paths: list[str]) -> None:
+        """Make image files visible on the relocation target (as shared
+        storage or an scp before restart would)."""
+        src_ns = self.world.node_state(src_host)
+        dst_ns = self.world.node_state(dst_host)
+        for path in paths:
+            src_mount = src_ns.mounts.resolve(path)
+            file = src_mount.namespace.lookup(path)
+            if file is None:
+                raise RestartError(f"missing image {path} on {src_host}")
+            dst_mount = dst_ns.mounts.resolve(path)
+            if dst_mount.namespace.lookup(path) is None:
+                copy = dst_mount.namespace.create(path)
+                copy.size = file.size
+                copy.payload = file.payload
+                copy.last_write_time = file.last_write_time
+
+    def run_command(self, cmd: str, arg: str = "") -> None:
+        """Run a generic ``dmtcp command <cmd>`` client to completion."""
+        env = dict(self.base_env())
+        env.pop(HIJACK_ENV)
+        proc = self.world.spawn_process(
+            self.coordinator_host, "dmtcp_command", ["dmtcp_command", cmd, arg], env
+        )
+        self.world.engine.run_until(lambda: not proc.alive)
+
+    def status(self) -> dict:
+        """`dmtcp command --status`: members, phase, checkpoint count."""
+        return {
+            "members": self.state.member_count,
+            "phase": self.state.phase,
+            "checkpoints": len(self.state.history),
+        }
+
+
+def dmtcp_checkpoint(
+    world: World,
+    hostname: str,
+    program: str,
+    argv: Optional[list[str]] = None,
+    **kwargs,
+) -> DmtcpComputation:
+    """One-call launch: build the computation and start the program."""
+    comp = DmtcpComputation(world, **kwargs)
+    comp.launch(hostname, program, argv)
+    return comp

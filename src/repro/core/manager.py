@@ -1,0 +1,383 @@
+"""The checkpoint manager thread and the 7-stage protocol (Section 4.3).
+
+One manager thread lives in every checkpointed process.  It connects to
+the coordinator, parks at the wait-for-checkpoint pseudo-barrier, and on
+request executes, with six cluster-wide barriers:
+
+  1 normal execution -> 2 suspend user threads -> 3 elect shared-FD
+  leaders (the F_SETOWN trick) -> 4 drain kernel buffers (token flush +
+  peer handshakes) -> 5 write checkpoint to disk -> 6 refill kernel
+  buffers (send drained data back; sender re-sends) -> 7 resume.
+
+On restart the recreated manager rejoins at Barrier 5 ("the user process
+will resume at Barrier 5 of the checkpoint algorithm", Section 4.4) and
+replays stages 6-7.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core import protocol as P
+from repro.core.imagefile import CheckpointImage, conn_key
+from repro.core.stats import CheckpointRecord, StageClock
+from repro.errors import SyscallError
+from repro.kernel.streams import CTRL_DRAIN_TOKEN, FrameAssembler
+from repro.kernel.syscalls import Sys, connect_retry, recv_frame, send_frame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.hijack import DmtcpRuntime
+
+REFILL_TAG = "dmtcp-refill"
+
+
+# ----------------------------------------------------------------------
+# Coordinator channel helpers
+# ----------------------------------------------------------------------
+
+def coord_send(sys: Sys, fd: int, message: dict):
+    """Send one control frame to the coordinator."""
+    yield from send_frame(sys, fd, message, P.CTL_FRAME_BYTES)
+
+
+def coord_recv(sys: Sys, fd: int, asm: FrameAssembler):
+    """Receive one control message (None on disconnect)."""
+    result = yield from recv_frame(sys, fd, asm)
+    if result is None:
+        return None
+    return result[0]
+
+
+def barrier(sys: Sys, fd: int, asm: FrameAssembler, name: str):
+    """Arrive at a cluster-wide barrier and wait for its release."""
+    yield from coord_send(sys, fd, P.msg(P.MSG_BARRIER, name=name))
+    while True:
+        message = yield from coord_recv(sys, fd, asm)
+        if message is None:
+            raise SyscallError("ECONNRESET", "coordinator vanished at barrier")
+        if message["kind"] == P.MSG_BARRIER_RELEASE and message["name"] == name:
+            return
+
+
+# ----------------------------------------------------------------------
+# Manager thread
+# ----------------------------------------------------------------------
+
+def manager_main(runtime: "DmtcpRuntime", restart_image: Optional[CheckpointImage] = None):
+    """Body of the checkpoint manager thread (kind="manager").
+
+    Uses the *raw* Sys: the real manager calls straight into libc,
+    bypassing its own wrappers, and its coordinator socket never appears
+    in the connection table.
+    """
+    sys = Sys()
+    process = runtime.process
+    env = process.env
+    host = env["DMTCP_COORD_HOST"]
+    port = int(env["DMTCP_COORD_PORT"])
+    fd = yield from sys.socket()
+    yield from connect_retry(sys, fd, host, port)
+    # close-on-exec: an exec'ing process drops its membership and the
+    # re-injected library's fresh manager re-registers
+    yield from sys.fcntl(fd, "F_SETFD_CLOEXEC", 1)
+    runtime.coord_fd = fd
+    asm = FrameAssembler()
+    yield from coord_send(
+        sys,
+        fd,
+        P.msg(
+            P.MSG_HELLO,
+            host=process.node.hostname,
+            vpid=runtime.vpid,
+            program=process.program,
+            restart=restart_image is not None,
+        ),
+    )
+    # distributed-coordinator mode: barrier traffic goes through the
+    # node-local relay instead of the root (Section 6 future work)
+    relay_port = env.get("DMTCP_RELAY_PORT")
+    if relay_port:
+        bfd = yield from sys.socket()
+        yield from connect_retry(sys, bfd, process.node.hostname, int(relay_port))
+        yield from sys.fcntl(bfd, "F_SETFD_CLOEXEC", 1)
+        bchan = (bfd, FrameAssembler())
+    else:
+        bchan = (fd, asm)
+    if restart_image is not None:
+        yield from _rejoin_after_restart(sys, runtime, fd, asm, bchan, restart_image)
+
+    while True:
+        message = yield from coord_recv(sys, fd, asm)
+        if message is None:
+            return  # coordinator gone; computation is over
+        if message["kind"] == P.MSG_CHECKPOINT:
+            yield from run_checkpoint(sys, runtime, fd, asm, bchan, message)
+            if message.get("kill"):
+                runtime.computation.retire_checkpointed_process(process)
+                return
+        elif message["kind"] == "die":
+            # `dmtcp command --kill`: exit without checkpointing
+            yield from sys.exit(0)
+
+
+def run_checkpoint(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: FrameAssembler, bchan: tuple, message: dict):
+    """Stages 2-7 of Figure 1, executed in every checkpointed process."""
+    process = runtime.process
+    world = runtime.world
+    clock = StageClock(t_start=world.engine.now)
+    ckpt_id = message["ckpt_id"]
+    runtime.in_checkpoint = True
+    _fire_hook(runtime, "pre-checkpoint", ckpt_id=ckpt_id)
+
+    # ---- stage 2: suspend user threads --------------------------------
+    clock.begin(world.engine.now)
+    while runtime.delay_count > 0:  # dmtcpaware critical section
+        yield from sys.sleep(0.001)
+    yield from sys.suspend_threads()
+    # external (non-DMTCP) peers cannot participate in drain/restore:
+    # their connections are closed now; the peers reconnect afterwards
+    # (the TightVNC/vncviewer pattern, Section 5.1)
+    for sfd, info in list(runtime.conn_table.items()):
+        if info.external and not info.listener:
+            try:
+                yield from runtime.sys.close(sfd)  # wrapped: drops the entry
+            except SyscallError:
+                pass
+    runtime.saved_owners = {}
+    for sfd in runtime.socket_fds():
+        try:
+            runtime.saved_owners[sfd] = yield from sys.fcntl(sfd, "F_GETOWN")
+        except SyscallError:
+            continue  # fd closed since recorded
+    yield from barrier(sys, bchan[0], bchan[1], P.BARRIER_SUSPENDED)
+    clock.end(world.engine.now, "suspend")
+
+    # ---- stage 3: elect shared-FD leaders ------------------------------
+    clock.begin(world.engine.now)
+    for sfd in runtime.socket_fds():
+        try:
+            yield from sys.fcntl(sfd, "F_SETOWN", process.pid)
+        except SyscallError:
+            continue
+    yield from barrier(sys, bchan[0], bchan[1], P.BARRIER_ELECTED)
+    clock.end(world.engine.now, "elect")
+
+    # ---- stage 4: drain kernel buffers ---------------------------------
+    clock.begin(world.engine.now)
+    led = yield from _led_endpoints(sys, runtime)
+    drained: dict[int, list] = {}
+    threads = []
+    for sfd in led:
+        gen = _drain_endpoint(Sys(), runtime, sfd, drained)
+        threads.append(world.spawn_thread(process, gen, f"drain-fd{sfd}", kind="manager"))
+    for t in threads:
+        yield t.task.done_future
+    # one more poll round verifies no data trickled in after the tokens
+    yield from sys.sleep(world.spec.dmtcp.drain_poll_s)
+    # "The connection information table is then written to disk."
+    table_fd = yield from sys.open(
+        f"{process.env.get('DMTCP_CKPT_DIR', '/tmp/dmtcp')}/"
+        f"conn_{process.node.hostname}-{runtime.vpid}.tbl",
+        "w",
+    )
+    yield from sys.write(
+        table_fd, 256 * max(len(runtime.conn_table), 1), payload=None
+    )
+    yield from sys.close(table_fd)
+    yield from barrier(sys, bchan[0], bchan[1], P.BARRIER_DRAINED)
+    clock.end(world.engine.now, "drain")
+
+    # ---- stage 5: write checkpoint to disk ------------------------------
+    from repro.core import mtcp
+
+    clock.begin(world.engine.now)
+    image = mtcp.build_image(runtime, ckpt_id, drained)
+    image_path = mtcp.image_path(runtime)
+    forked = bool(message.get("forked"))
+    if forked:
+        # forked checkpointing: a COW child compresses and writes in the
+        # background while the parent rejoins the barrier immediately
+        def _writer_child(child_sys):
+            yield from mtcp.write_image(child_sys, runtime, image, image_path)
+            yield from child_sys.exit(0)
+
+        yield from sys.fork(_writer_child)
+    else:
+        yield from mtcp.write_image(sys, runtime, image, image_path)
+    yield from barrier(sys, bchan[0], bchan[1], P.BARRIER_CHECKPOINTED)
+    clock.end(world.engine.now, "write")
+
+    # ---- stage 6: refill kernel buffers ---------------------------------
+    from repro.core.mtcp import endpoint_dead
+
+    clock.begin(world.engine.now)
+    alive = [
+        sfd for sfd in led
+        if sfd in process.fds and not endpoint_dead(process.get_fd(sfd))
+    ]
+    yield from _refill_all(runtime, alive, drained)
+    yield from barrier(sys, bchan[0], bchan[1], P.BARRIER_REFILLED)
+    clock.end(world.engine.now, "refill")
+
+    # ---- stage 7: restore owners, resume user threads -------------------
+    for sfd, owner in runtime.saved_owners.items():
+        try:
+            yield from sys.fcntl(sfd, "F_SETOWN", owner)
+        except SyscallError:
+            continue
+    record = CheckpointRecord(
+        ckpt_id=ckpt_id,
+        hostname=process.node.hostname,
+        vpid=runtime.vpid,
+        program=process.program,
+        stages=dict(clock.stages),
+        image_bytes=image.image_bytes,
+        stored_bytes=image.stored_bytes,
+        compressed=image.compressed,
+    )
+    yield from coord_send(
+        sys,
+        fd,
+        P.msg(P.MSG_CKPT_DONE, record=record, image_path=image_path, host=process.node.hostname),
+    )
+    if not message.get("kill"):
+        yield from sys.resume_threads()
+    runtime.in_checkpoint = False
+    runtime.checkpoints_done += 1
+    _fire_hook(runtime, "post-checkpoint", ckpt_id=ckpt_id)
+
+
+def _rejoin_after_restart(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: FrameAssembler, bchan: tuple, image: CheckpointImage):
+    """Restart steps 5-7 (Figure 2): rejoin at Barrier 5, refill, resume."""
+    world = runtime.world
+    yield from barrier(sys, bchan[0], bchan[1], "restart-" + P.BARRIER_CHECKPOINTED)
+    t0 = world.engine.now
+    dead_fds = {f.fd for f in image.fds if f.peer_dead}
+    led = sorted(set(image.drained) - dead_fds)
+    yield from _refill_all(runtime, led, image.drained)
+    yield from barrier(sys, bchan[0], bchan[1], "restart-" + P.BARRIER_REFILLED)
+    for fd_img in image.fds:
+        if fd_img.conn_key is not None and fd_img.owner_vpid:
+            try:
+                yield from sys.fcntl(fd_img.fd, "F_SETOWN", fd_img.owner_vpid)
+            except SyscallError:
+                continue
+    yield from sys.resume_threads()
+    stages = dict(getattr(runtime, "restart_stages", {}))
+    stages["refill"] = world.engine.now - t0
+    record = {
+        "host": runtime.process.node.hostname,
+        "vpid": runtime.vpid,
+        "program": runtime.process.program,
+        "stages": stages,
+    }
+    yield from coord_send(
+        sys, fd, P.msg(P.MSG_CKPT_DONE, record=record, image_path=None, host=runtime.process.node.hostname, restart=True)
+    )
+    runtime.restarts_done += 1
+    _fire_hook(runtime, "post-restart", ckpt_id=image.ckpt_id)
+
+
+# ----------------------------------------------------------------------
+# Drain / refill internals
+# ----------------------------------------------------------------------
+
+def _led_endpoints(sys: Sys, runtime: "DmtcpRuntime"):
+    """Endpoints this process won the F_SETOWN election for."""
+    from repro.kernel.sockets import SocketEndpoint
+
+    process = runtime.process
+    led = []
+    for sfd in runtime.socket_fds():
+        info = runtime.conn_table.get(sfd)
+        if info is None or info.listener:
+            continue
+        entry = process.fds.get(sfd)
+        if entry is None or not isinstance(entry.description, SocketEndpoint):
+            continue
+        ep = entry.description
+        if not ep.connected:
+            continue
+        owner = yield from sys.fcntl(sfd, "F_GETOWN")
+        if owner == process.pid:
+            led.append(sfd)
+    return led
+
+
+def _drain_endpoint(sys: Sys, runtime: "DmtcpRuntime", sfd: int, out: dict):
+    """Stage 4 for one endpoint: flush with a token, then drain to it."""
+    spec = runtime.world.spec.dmtcp
+    process = runtime.process
+    ep = process.get_fd(sfd).peer  # is the peer side still open?
+    try:
+        yield from sys.send(sfd, spec.drain_token_bytes, ctrl=CTRL_DRAIN_TOKEN)
+    except SyscallError:
+        pass  # peer already gone; drain whatever remains
+    chunks = []
+    saw_token = False
+    while True:
+        chunk = yield from sys.recv(sfd)
+        if chunk is None:  # EOF: peer closed before checkpoint
+            break
+        if chunk.ctrl == CTRL_DRAIN_TOKEN:
+            saw_token = True
+            break
+        chunks.append(chunk)
+    if saw_token:
+        # "DMTCP then performs handshakes with all socket peers to
+        # discover the globally unique ID of the remote side" -- the
+        # channel is quiescent now, so one info exchange each way
+        info = runtime.conn_table.get(sfd)
+        key = conn_key(info.conn_id) if info and info.conn_id else None
+        try:
+            yield from sys.send(sfd, 64, data=("dmtcp-peer-info", key), ctrl="dmtcp-peer-info")
+            peer_info = yield from sys.recv(sfd)
+            assert peer_info is None or peer_info.ctrl == "dmtcp-peer-info"
+        except SyscallError:
+            pass
+    out[sfd] = chunks
+
+
+def _refill_all(runtime: "DmtcpRuntime", led: list[int], drained: dict[int, list]):
+    """Stage 6: per-endpoint refill threads, then join them all."""
+    world = runtime.world
+    process = runtime.process
+    threads = []
+    for sfd in led:
+        gen = _refill_endpoint(Sys(), sfd, drained.get(sfd, []))
+        threads.append(world.spawn_thread(process, gen, f"refill-fd{sfd}", kind="manager"))
+    for t in threads:
+        yield t.task.done_future
+
+
+def _refill_endpoint(sys: Sys, sfd: int, my_drained: list):
+    """Send drained data back to its sender; re-send what the peer drained.
+
+    Section 4.3 step 6: "DMTCP then sends the drained socket buffer data
+    back to the sender.  The sender refills the kernel socket buffers by
+    resending the data."
+    """
+    payload_bytes = sum(c.nbytes for c in my_drained)
+    try:
+        yield from send_frame(
+            sys, sfd, (REFILL_TAG, my_drained), P.CTL_FRAME_BYTES + payload_bytes
+        )
+    except SyscallError:
+        return  # peer vanished between drain and refill; nothing to do
+    asm = FrameAssembler()
+    result = yield from recv_frame(sys, sfd, asm)
+    if result is None:
+        return  # peer side closed before checkpoint; nothing to re-send
+    (tag, peer_chunks), _size = result
+    assert tag == REFILL_TAG, f"unexpected frame during refill: {tag}"
+    for chunk in peer_chunks:
+        # force: the refilled volume is bounded by what the channel held
+        # at suspend time (recv queue + send queue + wire), which the
+        # model accounts against the receive queue alone
+        yield from sys.send_chunk(sfd, chunk, force=True)
+
+
+def _fire_hook(runtime: "DmtcpRuntime", name: str, **event) -> None:
+    hook = runtime.hooks.get(name)
+    if hook is not None:
+        hook(dict(event))

@@ -1,0 +1,245 @@
+"""MTCP: the single-process checkpoint layer (Section 4.1, layer 2).
+
+DMTCP delegates per-process work to MTCP across a small API: build an
+image of user-space memory (discovered via the /proc maps rendering),
+stream it through gzip to disk, and at restart rebuild memory and threads
+so the process resumes at Barrier 5 of the checkpoint algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core import compression
+from repro.core.imagefile import (
+    CheckpointImage,
+    FdImage,
+    RegionImage,
+    ThreadImage,
+    conn_key,
+)
+from repro.errors import SyscallError
+from repro.kernel.filesystem import OpenFile
+from repro.kernel.sockets import ListenerSocket, SocketEndpoint
+from repro.kernel.syscalls import Sys
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.hijack import DmtcpRuntime
+
+#: Fixed metadata overhead per image (headers, tables), bytes.
+METADATA_BYTES = 64 * 1024
+
+
+def endpoint_dead(desc) -> bool:
+    """Has the remote side of this endpoint already gone away?"""
+    return (
+        desc.closed
+        or desc.peer is None
+        or desc.peer.closed
+        or desc.rx.eof
+        or desc.rx._eof_pending
+    )
+
+
+def image_path(runtime: "DmtcpRuntime") -> str:
+    """Image filename, unique cluster-wide.
+
+    Real DMTCP names images ``ckpt_<program>_<UniquePid>.dmtcp`` where
+    UniquePid is (hostid, pid, timestamp) -- vital when the checkpoint
+    directory is shared storage, where same-pid processes on different
+    hosts would otherwise overwrite each other's images.
+    """
+    ckpt_dir = runtime.process.env.get("DMTCP_CKPT_DIR", "/tmp/dmtcp")
+    host = runtime.process.node.hostname
+    stamp = f"{runtime.process.start_time:.6f}".replace(".", "")
+    return f"{ckpt_dir}/ckpt_{runtime.process.program}_{host}-{runtime.vpid}-{stamp}.dmtcp"
+
+
+def build_image(runtime: "DmtcpRuntime", ckpt_id: int, drained: dict[int, list]) -> CheckpointImage:
+    """Snapshot the process: memory map, threads, FD table, connections."""
+    process = runtime.process
+    regions = [
+        RegionImage(r.kind, r.size, r.profile.name, r.path, r.shared)
+        for r in process.address_space.regions
+    ]
+    threads = [
+        ThreadImage(t.name, t.task)
+        for t in process.threads
+        if t.kind == "user" and t.task is not None and not t.task.done
+    ]
+    fds = []
+    for fd_num in sorted(process.fds):
+        entry = process.fds[fd_num]
+        desc = entry.description
+        info = runtime.conn_table.get(fd_num)
+        if isinstance(desc, OpenFile):
+            fds.append(
+                FdImage(
+                    fd=fd_num,
+                    kind="file",
+                    cloexec=entry.cloexec,
+                    path=desc.file.path,
+                    offset=desc.offset,
+                    flags=desc.flags,
+                    desc_key=id(desc),
+                )
+            )
+        elif isinstance(desc, ListenerSocket):
+            fds.append(
+                FdImage(
+                    fd=fd_num,
+                    kind="listener",
+                    cloexec=entry.cloexec,
+                    conn_key=conn_key(info.conn_id) if info and info.conn_id else None,
+                    bound_port=desc.addr[1] if desc.addr else None,
+                    bound_path=desc.path,
+                    owner_vpid=desc.owner_pid,
+                    desc_key=id(desc),
+                )
+            )
+        elif isinstance(desc, SocketEndpoint):
+            if info is None or info.conn_id is None:
+                continue  # raw unconnected socket; nothing to restore
+            fds.append(
+                FdImage(
+                    fd=fd_num,
+                    kind="pty" if desc.domain == "pty" else "socket",
+                    cloexec=entry.cloexec,
+                    conn_key=conn_key(info.conn_id),
+                    role=info.role,
+                    pty_name=info.pty_name,
+                    pty_side=info.pty_side,
+                    termios=(
+                        dict(desc.pty.termios) if getattr(desc, "pty", None) else None
+                    ),
+                    owner_vpid=desc.owner_pid,
+                    peer_dead=endpoint_dead(desc),
+                    desc_key=id(desc),
+                )
+            )
+    connections = {
+        conn_key(info.conn_id): info.clone()
+        for _fd, info in runtime.conn_table.items()
+        if info.conn_id is not None
+    }
+    parent_rt = None
+    if process.parent is not None:
+        parent_rt = process.parent.user_state.get("dmtcp")
+    image = CheckpointImage(
+        ckpt_id=ckpt_id,
+        hostname=process.node.hostname,
+        vpid=runtime.vpid,
+        program=process.program,
+        argv=list(process.argv),
+        env=dict(process.env),
+        regions=regions,
+        threads=threads,
+        fds=fds,
+        connections=connections,
+        drained=dict(drained),
+        pid_map=dict(runtime.pids.v2r),
+        parent_vpid=parent_rt.vpid if parent_rt else 0,
+        sid_vpid=process.sid,
+        ctty_name=process.ctty.name if process.ctty else None,
+        termios=dict(process.ctty.termios) if process.ctty else None,
+        signal_handlers=dict(process.signal_handlers),
+        sys_ref=runtime.sys,
+    )
+    from repro.core.export import capture_app_state
+
+    image.app_state = capture_app_state(process)
+    compressed = runtime.process.env.get("DMTCP_GZIP", "1") == "1"
+    est = compression.estimate(
+        [(r.size, r.profile) for r in regions],
+        runtime.world.spec.cpu,
+        enabled=compressed,
+    )
+    image.compressed = compressed
+    image.image_bytes = est.input_bytes + METADATA_BYTES
+    image.stored_bytes = est.output_bytes + METADATA_BYTES
+    return image
+
+
+def write_image(sys: Sys, runtime: "DmtcpRuntime", image: CheckpointImage, path: str):
+    """Stage 5: stream user-space memory through gzip to the image file."""
+    est = compression.estimate(
+        [(r.size, r.profile) for r in image.regions],
+        runtime.world.spec.cpu,
+        enabled=image.compressed,
+    )
+    if est.compress_seconds > 0:
+        yield from sys.cpu(est.compress_seconds)
+    fd = yield from sys.open(path, "w")
+    yield from sys.write(fd, image.stored_bytes, payload=image)
+    yield from sys.close(fd)
+
+
+def read_image(sys: Sys, path: str):
+    """Restart step 0: pull the image file back off storage."""
+    fd = yield from sys.open(path, "r")
+    nbytes, payload = yield from sys.read(fd, 1 << 62)
+    yield from sys.close(fd)
+    if payload is None:
+        raise SyscallError("EIO", f"no checkpoint payload in {path}")
+    return payload
+
+
+def restore_memory(sys: Sys, world, process, image: CheckpointImage):
+    """Restart step 5a: rebuild the address space from the region table.
+
+    Private regions are re-mapped directly; shared (mmap-backed) regions
+    go through the mmap syscall so the paper's backing-file rules apply
+    (Section 4.5: recreate the file if missing and writable, overwrite if
+    writable, else map file contents as-is).
+    """
+    est = compression.estimate(
+        [(r.size, r.profile) for r in image.regions],
+        world.spec.cpu,
+        enabled=image.compressed,
+    )
+    # gunzip plus page instantiation: copying image bytes into fresh
+    # mappings and faulting them in (Table 1b's dominant restore cost)
+    instantiate = est.input_bytes / world.spec.os.page_restore_bps
+    if est.decompress_seconds + instantiate > 0:
+        yield from sys.cpu(est.decompress_seconds + instantiate)
+    from repro.kernel.memory import AddressSpace, PROFILES
+
+    space = AddressSpace(world.spec.os.page_bytes)
+    process.address_space = space
+    for region in image.regions:
+        if region.shared and region.path is not None:
+            yield from _restore_shared_region(sys, process, region)
+        else:
+            space.map_region(
+                region.size, region.kind, PROFILES[region.profile], path=region.path
+            )
+
+
+def _restore_shared_region(sys: Sys, process, region: RegionImage):
+    """Apply the Section 4.5 shared-memory rules for one segment."""
+    st = yield from sys.stat(region.path)
+    if st is None:
+        # backing file missing: recreate it, then map and overwrite
+        fd = yield from sys.open(region.path, "w")
+        yield from sys.write(fd, region.size)
+        yield from sys.close(fd)
+    yield from sys.mmap(
+        region.size, region.profile, shared=True, path=region.path, kind="shm"
+    )
+
+
+def adopt_threads(world, process, image: CheckpointImage) -> list:
+    """Restart step 5b: reattach the frozen user-thread continuations.
+
+    The original Thread object is reused and re-pointed at the new
+    process: the thread wrapper resolves its owning process through it,
+    so 'main thread returns => process exits' keeps working after the
+    continuation crosses process incarnations.
+    """
+    adopted = []
+    for timg in image.threads:
+        thread = timg.continuation.context
+        thread.process = process
+        process.threads.append(thread)
+        adopted.append(thread)
+    return adopted

@@ -1,0 +1,59 @@
+"""Virtual pid layer (Section 4.5).
+
+"When a process is first created through a call to fork, its pid also
+becomes its virtual pid, and that virtual pid is maintained throughout
+succeeding generations of restarts."  The table maps virtual pids to the
+*current* real pids; wrappers translate in both directions.  The fork
+wrapper detects a child whose new real pid collides with an existing
+virtual pid, kills it, and forks again.
+"""
+
+from __future__ import annotations
+
+
+class PidTable:
+    """Per-process vpid <-> rpid translation."""
+
+    def __init__(self, self_vpid: int, self_rpid: int):
+        self.self_vpid = self_vpid
+        self.v2r: dict[int, int] = {self_vpid: self_rpid}
+        self.r2v: dict[int, int] = {self_rpid: self_vpid}
+
+    def record(self, vpid: int, rpid: int) -> None:
+        """Learn (or update) one vpid <-> rpid pair."""
+        self.v2r[vpid] = rpid
+        self.r2v[rpid] = vpid
+
+    def real(self, vpid: int) -> int:
+        """Translate a virtual pid to the current real pid."""
+        return self.v2r.get(vpid, vpid)
+
+    def virtual(self, rpid: int) -> int:
+        """Translate a real pid to its virtual pid (identity if unknown)."""
+        return self.r2v.get(rpid, rpid)
+
+    def knows_vpid(self, vpid: int) -> bool:
+        """Is this virtual pid already taken (fork-conflict check)?"""
+        return vpid in self.v2r
+
+    def forget(self, vpid: int) -> None:
+        """Retire a vpid (its process was reaped)."""
+        rpid = self.v2r.pop(vpid, None)
+        if rpid is not None:
+            self.r2v.pop(rpid, None)
+
+    def rebase_self(self, new_rpid: int) -> None:
+        """After restart: same vpid, new real pid."""
+        old = self.v2r.get(self.self_vpid)
+        if old is not None:
+            self.r2v.pop(old, None)
+        self.record(self.self_vpid, new_rpid)
+
+    def fork_copy(self, child_vpid: int, child_rpid: int) -> "PidTable":
+        """The child's table: inherited mappings plus its own identity."""
+        dup = PidTable(child_vpid, child_rpid)
+        dup.v2r.update(self.v2r)
+        dup.r2v.update(self.r2v)
+        dup.record(child_vpid, child_rpid)
+        dup.self_vpid = child_vpid
+        return dup

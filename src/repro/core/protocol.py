@@ -1,0 +1,60 @@
+"""Wire protocol between managers, the coordinator, and restart processes.
+
+Messages are small dicts sent as frames over ordinary simulated TCP
+sockets -- the coordinator is just another process.  The only global
+primitive is the cluster-wide barrier (Section 4.1); at restart the same
+coordinator doubles as the discovery service (Section 4.4).
+"""
+
+from __future__ import annotations
+
+#: The six global barriers of the checkpoint algorithm (Section 4.3) plus
+#: the pseudo-barrier processes wait at during normal execution.
+BARRIER_WAIT = "wait-for-checkpoint"  # special: released at ckpt request
+BARRIER_SUSPENDED = "suspended"
+BARRIER_ELECTED = "election-completed"
+BARRIER_DRAINED = "drained"
+BARRIER_CHECKPOINTED = "checkpointed"
+BARRIER_REFILLED = "refilled"
+BARRIER_RESUME = "resume"
+
+CHECKPOINT_BARRIERS = [
+    BARRIER_SUSPENDED,
+    BARRIER_ELECTED,
+    BARRIER_DRAINED,
+    BARRIER_CHECKPOINTED,
+    BARRIER_REFILLED,
+    BARRIER_RESUME,
+]
+
+#: Restart-side barriers: sockets rebuilt, then rejoin the checkpoint
+#: algorithm at BARRIER_CHECKPOINTED (Section 4.4 step 5).
+BARRIER_RESTART_SOCKETS = "restart-sockets-rebuilt"
+
+# manager -> coordinator
+MSG_HELLO = "hello"  # {host, pid, vpid, program}
+MSG_BARRIER = "barrier"  # {name}
+MSG_CKPT_DONE = "ckpt-done"  # {stats}
+MSG_GOODBYE = "goodbye"
+
+# coordinator -> manager
+MSG_CHECKPOINT = "do-checkpoint"  # {ckpt_id, forked}
+MSG_BARRIER_RELEASE = "barrier-release"  # {name}
+
+# command client -> coordinator
+MSG_COMMAND = "command"  # {cmd: checkpoint|status|kill|interval, arg}
+
+# restart <-> coordinator (discovery service)
+MSG_RESTART_HELLO = "restart-hello"  # {host, n_processes}
+MSG_ADVERTISE = "advertise"  # {conn_id_key, host, port}
+MSG_ADVERTISE_BCAST = "advertise-bcast"  # coordinator -> restarters
+
+#: Modeled size of a control frame on the wire, bytes.
+CTL_FRAME_BYTES = 128
+
+
+def msg(kind: str, **fields) -> dict:
+    """Build a protocol message."""
+    m = {"kind": kind}
+    m.update(fields)
+    return m

@@ -1,0 +1,117 @@
+"""Distributed coordinator: hierarchical barrier aggregation.
+
+Section 6 (future work): "As the approach is scaled to ever larger
+clusters, the single coordinator can be replaced by a distributed
+coordinator using well-known algorithms for distributed global
+barriers."  This module implements the classic two-level combining
+tree: one *barrier relay* per node aggregates the barrier arrivals of
+its local managers and forwards a single counted message to the root
+coordinator; releases fan back out through the relays.
+
+Control traffic (hello, checkpoint requests, done records, discovery)
+stays on the root -- the barrier path is what scales with process
+count, and it is the path the paper worries about.
+
+Enable by passing ``relay=True`` to :class:`DmtcpComputation`: a relay
+process is spawned on every node, and managers with ``DMTCP_RELAY_PORT``
+in their environment send barrier traffic through their local relay.
+"""
+
+from __future__ import annotations
+
+from repro.core import protocol as P
+from repro.kernel.process import ProgramSpec, RegionSpec
+from repro.kernel.streams import FrameAssembler
+from repro.kernel.syscalls import Sys, connect_retry, recv_frame, send_frame
+
+RELAY_PORT = 7878
+
+RELAY_SPEC = ProgramSpec(
+    "dmtcp_relay",
+    regions=(
+        RegionSpec("code", 128 * 1024, "code"),
+        RegionSpec("heap", 256 * 1024, "text"),
+    ),
+)
+
+#: relay -> root: aggregated arrivals.
+MSG_BARRIER_COUNT = "barrier-count"
+
+
+def relay_main(sys: Sys, argv):
+    """One barrier relay: combine local arrivals, fan out releases."""
+    coord_host = yield from sys.getenv("DMTCP_COORD_HOST")
+    coord_port = int((yield from sys.getenv("DMTCP_COORD_PORT")))
+    up_fd = yield from sys.socket()
+    yield from connect_retry(sys, up_fd, coord_host, coord_port)
+    up_asm = FrameAssembler()
+
+    lfd = yield from sys.socket()
+    yield from sys.bind(lfd, RELAY_PORT)
+    yield from sys.listen(lfd, backlog=256)
+
+    state = {
+        "down_fds": [],  # local manager connections
+        "waiting": {},  # barrier name -> [fd, ...] awaiting release
+        "sent": {},  # barrier name -> arrivals already forwarded upward
+    }
+    yield from sys.thread_create(lambda t: _relay_uplink(t, up_fd, up_asm, state))
+    while True:
+        cfd = yield from sys.accept(lfd)
+        state["down_fds"].append(cfd)
+        yield from sys.thread_create(
+            lambda t, fd=cfd: _relay_downlink(t, fd, up_fd, state)
+        )
+
+
+def _relay_downlink(sys: Sys, cfd: int, up_fd: int, state: dict):
+    """Serve one local manager: batch its barrier arrivals upward."""
+    asm = FrameAssembler()
+    pending: dict[str, int] = {}
+    while True:
+        result = yield from recv_frame(sys, cfd, asm)
+        if result is None:
+            if cfd in state["down_fds"]:
+                state["down_fds"].remove(cfd)
+            return
+        message = result[0]
+        if message["kind"] == P.MSG_BARRIER:
+            name = message["name"]
+            waiters = state["waiting"].setdefault(name, [])
+            waiters.append(cfd)
+            # combining tree: forward one counted message per barrier
+            # once every locally connected manager has arrived, so the
+            # root handles O(nodes) messages instead of O(processes)
+            if len(waiters) >= len(state["down_fds"]):
+                sent = state["sent"].get(name, 0)
+                delta = len(waiters) - sent
+                if delta > 0:
+                    state["sent"][name] = len(waiters)
+                    yield from send_frame(
+                        sys,
+                        up_fd,
+                        P.msg(MSG_BARRIER_COUNT, name=name, n=delta),
+                        P.CTL_FRAME_BYTES,
+                    )
+
+
+def _relay_uplink(sys: Sys, up_fd: int, up_asm: FrameAssembler, state: dict):
+    """Fan releases from the root out to the local managers."""
+    while True:
+        result = yield from recv_frame(sys, up_fd, up_asm)
+        if result is None:
+            return
+        message = result[0]
+        if message["kind"] == P.MSG_BARRIER_RELEASE:
+            name = message["name"]
+            waiters = state["waiting"].pop(name, [])
+            state["sent"].pop(name, None)
+            for fd in waiters:
+                yield from send_frame(
+                    sys, fd, P.msg(P.MSG_BARRIER_RELEASE, name=name), P.CTL_FRAME_BYTES
+                )
+
+
+def register_relay(world) -> None:
+    """Register the barrier-relay program with a world."""
+    world.register_program("dmtcp_relay", relay_main, RELAY_SPEC)

@@ -1,0 +1,392 @@
+"""dmtcp_restart: the unified per-host restart process (Section 4.4).
+
+One restart process per host executes Figure 2's steps:
+
+1. reopen files and recreate ptys (and re-bind listener sockets);
+2. recreate and reconnect sockets, using the coordinator's discovery
+   service to find the new address of each peer's restart process --
+   acceptors advertise their restore listener, connectors dial it and
+   the two sides handshake on the globally unique connection ID;
+3. fork into the N user processes (this ordering is what lets sockets
+   shared between processes be shared again -- descriptions created
+   before fork are inherited);
+4. each child rearranges file descriptors with dup2/close;
+5. MTCP restores memory and threads; the process rejoins the checkpoint
+   algorithm at Barrier 5;
+6-7. kernel buffers are refilled and user threads resume (manager.py).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core import mtcp
+from repro.core import protocol as P
+from repro.core.manager import manager_main
+from repro.errors import SyscallError
+from repro.kernel.streams import FrameAssembler
+from repro.kernel.syscalls import Sys, connect_retry, recv_frame, send_frame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.launch import DmtcpComputation
+
+RESTORE_TAG = "dmtcp-restore"
+_TEMP_FD_BASE = 100_000
+
+
+def _endpoint_key(f) -> tuple:
+    """Restored-description identity for one FdImage."""
+    if f.kind == "file":
+        return ("file", f.desc_key)
+    if f.kind == "listener":
+        return ("listener", f.desc_key)
+    if f.kind == "pty":
+        return ("pty", f.pty_name, f.pty_side)
+    role = "accept" if f.role == "accept" else "connect"
+    if f.role in ("pair-a", "pair-b", "pipe-r", "pipe-w"):
+        role = f.role
+    return ("ep", f.conn_key, role)
+
+
+def make_restart_program(computation: "DmtcpComputation"):
+    """Build the dmtcp_restart program (registered with the world)."""
+
+    def dmtcp_restart_main(sys: Sys, argv):
+        """argv: dmtcp_restart <total_processes> <image_path>..."""
+        world = computation.world
+        total = int(argv[1])
+        paths = argv[2:]
+        my_host = yield from sys.gethostname()
+        t0 = yield from sys.time()
+
+        # -- coordinator / discovery connection ---------------------------
+        coord_host = yield from sys.getenv("DMTCP_COORD_HOST")
+        coord_port = int((yield from sys.getenv("DMTCP_COORD_PORT")))
+        cfd = yield from sys.socket()
+        yield from connect_retry(sys, cfd, coord_host, coord_port)
+        coord_asm = FrameAssembler()
+        yield from send_frame(
+            sys, cfd, P.msg(P.MSG_RESTART_HELLO, host=my_host, total=total, t0=t0),
+            P.CTL_FRAME_BYTES,
+        )
+
+        t_read0 = yield from sys.time()
+        images = []
+        for path in paths:
+            images.append((yield from mtcp.read_image(sys, path)))
+        t_read1 = yield from sys.time()
+
+        # ---- step 1: reopen files, recreate ptys, re-bind listeners ------
+        t_stage = yield from sys.time()
+        desc_fd: dict[tuple, int] = {}
+        pty_rename: dict[str, str] = {}
+        for image in images:
+            for f in image.fds:
+                key = _endpoint_key(f)
+                if key in desc_fd:
+                    continue
+                if f.kind == "file":
+                    fd = yield from sys.open(f.path, f.flags if f.flags != "w" else "rw")
+                    yield from sys.lseek(fd, f.offset)
+                    desc_fd[key] = fd
+                elif f.kind == "listener":
+                    lfd = yield from sys.socket()
+                    try:
+                        yield from sys.bind(lfd, f.bound_port or 0, f.bound_path)
+                    except SyscallError as err:
+                        if err.errno != "EADDRINUSE":
+                            raise
+                        yield from sys.bind(lfd, 0)  # relocated: take a new port
+                    yield from sys.listen(lfd)
+                    desc_fd[key] = lfd
+                elif f.kind == "pty" and ("pty", f.pty_name, "master") not in desc_fd:
+                    mfd, sfd = yield from sys.openpty()
+                    new_name = yield from sys.ptsname(sfd)
+                    pty_rename[f.pty_name] = new_name
+                    if f.termios:
+                        yield from sys.tcsetattr(sfd, f.termios)
+                    desc_fd[("pty", f.pty_name, "master")] = mfd
+                    desc_fd[("pty", f.pty_name, "slave")] = sfd
+        now = yield from sys.time()
+        stage_files = now - t_stage
+
+        # ---- step 2: recreate and reconnect sockets ----------------------
+        t_stage = now
+        # socketpairs and promoted pipes: both ends live on this host
+        pair_keys_done = set()
+        need_accept: set[str] = set()
+        need_connect: set[str] = set()
+        for image in images:
+            for f in image.fds:
+                if f.kind != "socket":
+                    continue
+                info = image.connections.get(f.conn_key)
+                domain = info.domain if info else "inet"
+                if domain in ("pair", "pipe"):
+                    if f.conn_key not in pair_keys_done:
+                        a, b = yield from sys.socketpair()
+                        first, second = (
+                            ("pair-a", "pair-b") if domain == "pair" else ("pipe-r", "pipe-w")
+                        )
+                        desc_fd[("ep", f.conn_key, first)] = a
+                        desc_fd[("ep", f.conn_key, second)] = b
+                        pair_keys_done.add(f.conn_key)
+                elif f.peer_dead:
+                    # the remote side was already gone at checkpoint time:
+                    # restore a half-open socket delivering the drained
+                    # residue and then EOF, exactly what the app would see
+                    key = _endpoint_key(f)
+                    if key not in desc_fd:
+                        a, b = yield from sys.socketpair()
+                        my_pid = yield from sys.getpid()
+                        proc = world.find_process(my_host, my_pid)
+                        ep = proc.get_fd(a)
+                        for chunk in image.drained.get(f.fd, []):
+                            ep.rx.push(chunk)
+                        yield from sys.close(b)
+                        desc_fd[key] = a
+                elif f.role == "accept":
+                    need_accept.add(f.conn_key)
+                else:
+                    need_connect.add(f.conn_key)
+
+        # restore listener for incoming re-connections
+        rlfd = yield from sys.socket()
+        rl_addr = yield from sys.bind(rlfd, 0)
+        yield from sys.listen(rlfd, backlog=1024)
+        for key in sorted(need_accept):
+            yield from send_frame(
+                sys,
+                cfd,
+                P.msg(P.MSG_ADVERTISE, key=key, host=my_host, port=rl_addr[1]),
+                P.CTL_FRAME_BYTES,
+            )
+        my_proc = world.find_process(my_host, (yield from sys.getpid()))
+        accept_done = {"n": 0}
+        if need_accept:
+            world.spawn_thread(
+                my_proc,
+                _restore_acceptor(Sys(), rlfd, len(need_accept), desc_fd, accept_done),
+                "restore-acceptor",
+                kind="manager",
+            )
+        # A reader thread drains the coordinator connection for the whole
+        # restart: the coordinator broadcasts every advertisement to every
+        # restarter, and a restarter that stops reading would wedge the
+        # coordinator's writers (and with them the restart barriers).
+        adverts: dict[str, tuple] = {}
+        world.spawn_thread(
+            my_proc,
+            _advert_reader(Sys(), cfd, coord_asm, adverts),
+            "restore-advert-reader",
+            kind="manager",
+        )
+        # dial out as advertisements arrive (Section 4.4: asynchronous
+        # "until all sockets are restored"; both sides may have moved)
+        pending = set(need_connect)
+        connectors = []
+        while pending:
+            ready = sorted(pending & set(adverts))
+            for key in ready:
+                pending.discard(key)
+                host, port = adverts[key]
+                connectors.append(
+                    world.spawn_thread(
+                        my_proc,
+                        _restore_connector(Sys(), key, host, port, desc_fd),
+                        f"restore-connect-{key[-8:]}",
+                        kind="manager",
+                    )
+                )
+            if pending:
+                yield from sys.sleep(0.003)
+        for t in connectors:
+            yield t.task.done_future
+        while accept_done["n"] < len(need_accept):
+            yield from sys.sleep(0.001)
+        now = yield from sys.time()
+        stage_reconnect = now - t_stage
+        stage_times = {
+            "restore_files": stage_files,
+            "reconnect": stage_reconnect,
+            # reading the images off storage counts towards Table 1b's
+            # restore-memory stage (shared across this host's processes)
+            "image_read": (t_read1 - t_read0) / max(len(images), 1),
+        }
+
+        # ---- step 3: fork into user processes ---------------------------
+        all_vpids = set()
+        for image in images:
+            all_vpids.update(image.pid_map.keys())
+        children = []
+        restore_ctx = _make_restore_ctx()
+        restore_ctx["pty_rename"] = pty_rename
+        for image in images:
+            fdmap = {f.fd: (desc_fd[_endpoint_key(f)], f.cloexec) for f in image.fds}
+            while True:
+                gate = _make_gate()
+                pid = yield from sys.fork(
+                    _make_restore_child(computation, image, fdmap, stage_times, gate, restore_ctx)
+                )
+                if pid in all_vpids and pid != image.vpid:
+                    # virtual-pid conflict (Section 4.5): kill and re-fork
+                    gate["future"].resolve("doomed")
+                    try:
+                        yield from sys.waitpid(pid)
+                    except SyscallError:
+                        pass
+                    continue
+                gate["future"].resolve("proceed")
+                children.append((image, pid))
+                restore_ctx["vpid_map"][image.vpid] = pid
+                break
+        # every restored process learns the new real pid of every restored
+        # vpid on this host, so kill/waitpid by virtual pid keep working
+        restore_ctx["all_forked"].resolve(None)
+
+        # restore parent-child relationships among restored processes
+        by_vpid = {
+            image.vpid: world.find_process(my_host, pid) for image, pid in children
+        }
+        restart_proc = world.find_process(my_host, (yield from sys.getpid()))
+        for image, pid in children:
+            if image.parent_vpid and image.parent_vpid in by_vpid:
+                child_proc = world.find_process(my_host, pid)
+                parent_proc = by_vpid[image.parent_vpid]
+                if child_proc is not None and parent_proc is not None:
+                    if restart_proc is not None and child_proc in restart_proc.children:
+                        restart_proc.children.remove(child_proc)
+                    child_proc.parent = parent_proc
+                    parent_proc.children.append(child_proc)
+        # the restart process's work is done; children carry on (its exit
+        # closes its fd copies, leaving the shared descriptions to them)
+        return len(children)
+
+    return dmtcp_restart_main
+
+
+def _make_gate():
+    from repro.sim.tasks import Future
+
+    return {"future": Future("restore-gate")}
+
+
+def _make_restore_ctx():
+    from repro.sim.tasks import Future
+
+    return {"vpid_map": {}, "all_forked": Future("all-forked")}
+
+
+def _advert_reader(sys: Sys, cfd: int, asm: FrameAssembler, adverts: dict):
+    """Drain discovery broadcasts for the lifetime of the restart."""
+    while True:
+        message = yield from recv_frame(sys, cfd, asm)
+        if message is None:
+            return
+        body = message[0]
+        if body["kind"] == P.MSG_ADVERTISE_BCAST:
+            adverts[body["key"]] = (body["host"], body["port"])
+
+
+def _restore_acceptor(sys: Sys, rlfd: int, expected: int, desc_fd: dict, done: dict):
+    """Accept re-connections; the first chunk names the connection ID."""
+    while done["n"] < expected:
+        fd = yield from sys.accept(rlfd)
+        chunk = yield from sys.recv(fd)
+        tag, key = chunk.data
+        assert tag == RESTORE_TAG, f"unexpected restore handshake {tag!r}"
+        desc_fd[("ep", key, "accept")] = fd
+        done["n"] += 1
+
+
+def _restore_connector(sys: Sys, key: str, host: str, port: int, desc_fd: dict):
+    fd = yield from sys.socket()
+    yield from connect_retry(sys, fd, host, port)
+    yield from sys.send(fd, P.CTL_FRAME_BYTES, data=(RESTORE_TAG, key))
+    desc_fd[("ep", key, "connect")] = fd
+
+
+def _make_restore_child(computation, image, fdmap: dict, stage_times: dict, gate: dict, restore_ctx: dict):
+    """Child body: Figure 2 steps 4-5, then hand off to the manager."""
+
+    def restore_child(sys: Sys):
+        """One restored user process (Figure 2 steps 4-5 + manager)."""
+        world = computation.world
+        verdict = yield gate["future"]  # wait for the vpid-conflict check
+        if verdict == "doomed":
+            return  # our real pid collided with a restored vpid; re-forked
+        yield restore_ctx["all_forked"]  # and for the host-wide pid map
+        rpid = yield from sys.getpid()
+        host = yield from sys.gethostname()
+        process = world.find_process(host, rpid)
+
+        # ---- step 4: rearrange FDs with dup2/close -----------------------
+        temp_of = {}
+        for i, (target_fd, (src_fd, _cloexec)) in enumerate(sorted(fdmap.items())):
+            temp = _TEMP_FD_BASE + i
+            yield from sys.dup2(src_fd, temp)
+            temp_of[target_fd] = temp
+        for fd in sorted(process.fds):
+            if fd < _TEMP_FD_BASE:
+                yield from sys.close(fd)
+        for target_fd, temp in sorted(temp_of.items()):
+            yield from sys.dup2(temp, target_fd)
+            yield from sys.close(temp)
+            if fdmap[target_fd][1]:
+                yield from sys.fcntl(target_fd, "F_SETFD_CLOEXEC", 1)
+
+        # ---- step 5: restore memory and threads --------------------------
+        t0 = yield from sys.time()
+        yield from mtcp.restore_memory(sys, world, process, image)
+        threads = mtcp.adopt_threads(world, process, image)
+        t1 = yield from sys.time()
+
+        # identity: program, env, signal dispositions, terminal
+        process.program = image.program
+        process.argv = list(image.argv)
+        process.env = dict(image.env)
+        process.signal_handlers = dict(image.signal_handlers)
+        if image.ctty_name is not None:
+            for f in image.fds:
+                if f.kind == "pty" and f.pty_name == image.ctty_name:
+                    desc = process.get_fd(f.fd)
+                    pty = getattr(desc, "pty", None)
+                    if pty is not None:
+                        process.ctty = pty
+                        pty.session_sid = process.sid
+                    break
+
+        # the hijack runtime survives inside the image's WrappedSys
+        runtime = image.sys_ref.rt
+        runtime.process = process
+        runtime.world = world
+        runtime.pids.rebase_self(rpid)
+        for vpid, new_rpid in restore_ctx["vpid_map"].items():
+            if vpid != image.vpid and runtime.pids.knows_vpid(vpid):
+                runtime.pids.record(vpid, new_rpid)
+        # ptsname virtualization: the app keeps seeing the original names
+        for virt_name, new_real in restore_ctx.get("pty_rename", {}).items():
+            runtime.map_pty(virt_name, new_real)
+        process.user_state["dmtcp"] = runtime
+        process.sys = image.sys_ref
+        runtime.restart_stages = dict(stage_times)
+        runtime.restart_stages["restore_memory"] = (
+            t1 - t0 + runtime.restart_stages.pop("image_read", 0.0)
+        )
+
+        world.spawn_thread(
+            process,
+            manager_main(runtime, restart_image=image),
+            f"ckpt-manager[{rpid}]",
+            kind="manager",
+        )
+        # linger like MTCP's motherofall thread until the app finishes.
+        # Re-check after every wake: this thread is itself checkpointable,
+        # and a suspend/resume cycle wakes raw future waits spuriously.
+        while True:
+            live = [t for t in threads if not t.task.done]
+            if not live:
+                break
+            yield live[0].task.done_future
+
+    return restore_child

@@ -1,0 +1,76 @@
+"""Per-stage timing records (Table 1 comes straight out of these)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Optional
+
+#: Stage names, matching Table 1 rows.
+CKPT_STAGES = [
+    "suspend",
+    "elect",
+    "drain",
+    "write",
+    "refill",
+]
+RESTART_STAGES = [
+    "restore_files",
+    "reconnect",
+    "restore_memory",
+    "refill",
+]
+
+
+@dataclass
+class StageClock:
+    """Accumulates (stage -> duration) for one process's checkpoint."""
+
+    t_start: float
+    stages: dict[str, float] = field(default_factory=dict)
+    _mark: Optional[float] = None
+
+    def begin(self, now: float) -> None:
+        """Mark the start of a stage."""
+        self._mark = now
+
+    def end(self, now: float, stage: str) -> None:
+        """Close the open stage, accumulating its duration."""
+        assert self._mark is not None, f"end({stage}) without begin"
+        self.stages[stage] = self.stages.get(stage, 0.0) + (now - self._mark)
+        self._mark = None
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded stage durations."""
+        return sum(self.stages.values())
+
+
+@dataclass
+class CheckpointRecord:
+    """One process's contribution to one cluster-wide checkpoint."""
+
+    ckpt_id: int
+    hostname: str
+    vpid: int
+    program: str
+    stages: dict[str, float]
+    image_bytes: int
+    stored_bytes: int
+    compressed: bool
+
+    @property
+    def total(self) -> float:
+        """Sum of this record's stage durations."""
+        return sum(self.stages.values())
+
+
+def aggregate_stages(records: list[CheckpointRecord], names: list[str]) -> dict[str, float]:
+    """Mean per-stage duration across processes (Table 1 methodology:
+    per-node parallel stages are averaged; barrier-to-barrier stages are
+    effectively equal across processes)."""
+    out = {}
+    for name in names:
+        vals = [r.stages.get(name, 0.0) for r in records]
+        out[name] = mean(vals) if vals else 0.0
+    return out

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by the simulator, the kernel, and the DMTCP layer
+derive from :class:`ReproError` so callers can catch library errors
+without accidentally swallowing programming mistakes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly (e.g. time travel)."""
+
+
+class TaskError(SimulationError):
+    """A simulated task was driven incorrectly (double resume, bad yield)."""
+
+
+class TaskCancelled(BaseException):
+    """Injected into a task's generator when the task is cancelled.
+
+    Derives from ``BaseException`` (like ``GeneratorExit``) so that
+    workload code catching ``Exception`` does not accidentally survive
+    cancellation.
+    """
+
+
+class KernelError(ReproError):
+    """Base class for simulated-kernel failures."""
+
+
+class SyscallError(KernelError):
+    """A simulated syscall failed.
+
+    Carries a Unix-style ``errno`` mnemonic (e.g. ``"EBADF"``) so tests can
+    assert on the precise failure mode.
+    """
+
+    def __init__(self, errno: str, message: str = ""):
+        self.errno = errno
+        super().__init__(f"[{errno}] {message}" if message else errno)
+
+
+class CheckpointError(ReproError):
+    """The DMTCP layer failed to checkpoint or restart a computation."""
+
+
+class RestartError(CheckpointError):
+    """Restart-specific failure (missing image, discovery timeout, ...)."""
+
+
+class MpiError(ReproError):
+    """Misuse of the simulated MPI library."""

@@ -1,0 +1,25 @@
+"""Hardware models: CPUs, disks with page caches, NICs, and shared storage.
+
+All models are *fluid*: concurrent consumers share a resource's rate
+fairly, and the simulation recomputes completion times whenever the set of
+consumers changes.  This is what produces the paper's macroscopic shapes
+(flat node scaling on local disks, contention on centralized storage,
+page-cache write absorption) without simulating individual packets or
+blocks.
+"""
+
+from repro.hardware.network import Network
+from repro.hardware.node import Node
+from repro.hardware.resources import BandwidthResource
+from repro.hardware.storage import PageCachedDisk, SanDevice
+from repro.hardware.topology import Machine, build_machine
+
+__all__ = [
+    "BandwidthResource",
+    "Machine",
+    "Network",
+    "Node",
+    "PageCachedDisk",
+    "SanDevice",
+    "build_machine",
+]

@@ -1,0 +1,96 @@
+"""Cluster interconnect: a non-blocking switch with per-NIC bandwidth.
+
+Gigabit Ethernet is modelled as a full-bisection switch: a transfer is
+constrained only by the sender's TX queue and the receiver's RX queue
+(each a fair-share :class:`BandwidthResource`), plus propagation latency
+and a small per-message software overhead.  Loopback transfers bypass the
+NIC entirely and move at memory bandwidth, as they do on a real host --
+this matters because DMTCP treats loopback sockets like any other socket
+(Section 4.4) while their drain cost is near zero.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import NetworkSpec
+from repro.sim.engine import Engine
+from repro.sim.tasks import Future
+
+from repro.hardware.resources import BandwidthResource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.node import Node
+
+
+class Network:
+    """Connects :class:`~repro.hardware.node.Node` objects."""
+
+    def __init__(self, engine: Engine, spec: NetworkSpec):
+        self.engine = engine
+        self.spec = spec
+        self._nodes: dict[str, "Node"] = {}
+        #: Total payload bytes moved across the fabric; test hook.
+        self.bytes_transferred = 0.0
+
+    def attach(self, node: "Node") -> None:
+        """Plug a node into the switch."""
+        if node.hostname in self._nodes:
+            raise ValueError(f"duplicate hostname {node.hostname!r}")
+        self._nodes[node.hostname] = node
+
+    def node(self, hostname: str) -> "Node":
+        """Look a node up by hostname."""
+        return self._nodes[hostname]
+
+    @property
+    def hostnames(self) -> list[str]:
+        """All attached hostnames."""
+        return list(self._nodes)
+
+    @staticmethod
+    def engine_memory_bps(node: "Node") -> float:
+        """The node's memcpy bandwidth (loopback fast path)."""
+        return node.spec.cpu.memory_bps
+
+    def transfer(self, src: "Node", dst: "Node", nbytes: float) -> Future:
+        """Move ``nbytes`` from ``src`` to ``dst``.
+
+        Resolves when the last byte has arrived at ``dst``.  The bytes
+        occupy the sender TX and receiver RX queues concurrently; the
+        transfer completes when the slower side finishes.
+        """
+        done = Future("net:transfer")
+        self.bytes_transferred += nbytes
+        if src is dst:
+            # loopback: memory-speed copy, no NIC, no wire latency
+            if nbytes <= self.spec.small_transfer_bytes:
+                self.engine.call_after(
+                    nbytes / self.engine_memory_bps(src), done.resolve, None
+                )
+            else:
+                src.loopback.submit(nbytes).add_done(lambda: done.resolve(None))
+            return done
+        if nbytes <= self.spec.small_transfer_bytes:
+            # control-frame fast path: fixed latency + serialization time,
+            # no shared-queue occupancy (see NetworkSpec.small_transfer_bytes)
+            delay = (
+                self.spec.latency_s
+                + self.spec.per_message_s
+                + nbytes / self.spec.bandwidth_bps
+            )
+            self.engine.call_after(delay, done.resolve, None)
+            return done
+        tx = src.nic_tx.submit(nbytes)
+        rx = dst.nic_rx.submit(nbytes)
+        fixed = self.spec.latency_s + self.spec.per_message_s
+        outstanding = {"n": 2}
+
+        def one_side_done() -> None:
+            outstanding["n"] -= 1
+            if outstanding["n"] == 0:
+                self.engine.call_after(fixed, done.resolve, None)
+
+        tx.add_done(one_side_done)
+        rx.add_done(one_side_done)
+        return done

@@ -1,0 +1,66 @@
+"""A cluster node: cores, RAM, NIC queues, local disk, loopback path."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.config import HardwareSpec
+from repro.sim.engine import Engine
+from repro.sim.rng import RandomStreams
+from repro.sim.tasks import Future
+
+from repro.hardware.resources import BandwidthResource
+from repro.hardware.storage import PageCachedDisk
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.storage import SanDevice
+
+
+class Node:
+    """One physical host of the simulated cluster.
+
+    The CPU is a fair-share server of ``cores`` core-seconds per second
+    with a one-core cap per burst, so ``k`` runnable threads on ``c``
+    cores each progress at ``min(1, c/k)`` -- the standard proportional
+    share model.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        hostname: str,
+        spec: HardwareSpec,
+        rng: RandomStreams,
+        node_id: int = 0,
+    ):
+        self.engine = engine
+        self.hostname = hostname
+        self.node_id = node_id
+        self.spec = spec
+        self.rng = rng
+        self.ram_bytes = spec.node_ram_bytes
+        self.cpu = BandwidthResource(
+            engine, rate=float(spec.cpu.cores), per_job_cap=1.0, name=f"{hostname}:cpu"
+        )
+        self.nic_tx = BandwidthResource(
+            engine, spec.network.bandwidth_bps, name=f"{hostname}:tx"
+        )
+        self.nic_rx = BandwidthResource(
+            engine, spec.network.bandwidth_bps, name=f"{hostname}:rx"
+        )
+        self.loopback = BandwidthResource(
+            engine, spec.cpu.memory_bps, name=f"{hostname}:lo"
+        )
+        self.disk = PageCachedDisk(
+            engine, spec.disk, self.ram_bytes, name=f"{hostname}:disk"
+        )
+        #: Optional centralized storage this node can reach ("fc" or "nfs").
+        self.san: Optional["SanDevice"] = None
+        self.san_path: str = "nfs"
+
+    def cpu_burst(self, seconds: float) -> Future:
+        """Consume ``seconds`` of dedicated-core compute time."""
+        return self.cpu.submit(seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.hostname}>"

@@ -1,0 +1,64 @@
+"""Cluster assembly: nodes + network + optional centralized storage."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import HardwareSpec
+from repro.sim.engine import Engine
+from repro.sim.rng import RandomStreams
+
+from repro.hardware.network import Network
+from repro.hardware.node import Node
+from repro.hardware.storage import SanDevice
+
+
+@dataclass
+class Machine:
+    """The physical plant handed to the kernel layer."""
+
+    engine: Engine
+    spec: HardwareSpec
+    network: Network
+    nodes: list[Node] = field(default_factory=list)
+    san: Optional[SanDevice] = None
+
+    def node(self, hostname: str) -> Node:
+        """Look a node up by hostname."""
+        return self.network.node(hostname)
+
+    @property
+    def hostnames(self) -> list[str]:
+        """All node hostnames, in id order."""
+        return [n.hostname for n in self.nodes]
+
+
+def build_machine(
+    engine: Engine,
+    spec: HardwareSpec,
+    n_nodes: int,
+    rng: Optional[RandomStreams] = None,
+    with_san: bool = False,
+    hostname_prefix: str = "node",
+) -> Machine:
+    """Build an ``n_nodes`` cluster per the calibration ``spec``.
+
+    With ``with_san`` the paper's Figure 5b storage layout is attached:
+    the first ``spec.san.san_clients`` nodes mount the device over Fibre
+    Channel, the rest reach it via NFS.
+    """
+    rng = rng or RandomStreams(0)
+    network = Network(engine, spec.network)
+    machine = Machine(engine=engine, spec=spec, network=network)
+    if with_san:
+        machine.san = SanDevice(engine, spec.san, spec.network)
+    for i in range(n_nodes):
+        hostname = f"{hostname_prefix}{i:02d}"
+        node = Node(engine, hostname, spec, rng.fork(hostname), node_id=i)
+        network.attach(node)
+        machine.nodes.append(node)
+        if machine.san is not None:
+            node.san = machine.san
+            node.san_path = "fc" if i < spec.san.san_clients else "nfs"
+    return machine

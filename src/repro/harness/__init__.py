@@ -1,0 +1,32 @@
+"""Experiment harness: one driver per table/figure of Section 5.
+
+Each driver builds the right cluster, launches the paper's workload
+under ``dmtcp_checkpoint``, measures what the paper measures, and
+returns rows shaped like the published table/figure.  The benchmarks in
+``benchmarks/`` are thin wrappers that print these rows.
+"""
+
+from repro.harness.experiment import (
+    DesktopResult,
+    DistributedResult,
+    checkpoint_and_restart_cycle,
+    mean_std,
+)
+from repro.harness.fig3 import run_fig3
+from repro.harness.fig4 import FIG4_APPS, run_fig4_app
+from repro.harness.fig5 import run_fig5_point
+from repro.harness.fig6 import run_fig6_point
+from repro.harness.table1 import run_table1
+
+__all__ = [
+    "DesktopResult",
+    "DistributedResult",
+    "FIG4_APPS",
+    "checkpoint_and_restart_cycle",
+    "mean_std",
+    "run_fig3",
+    "run_fig4_app",
+    "run_fig5_point",
+    "run_fig6_point",
+    "run_table1",
+]

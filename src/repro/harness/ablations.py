@@ -1,0 +1,138 @@
+"""Ablation experiments backing the paper's textual claims.
+
+* sync-after-checkpoint cost (Section 5.2: +0.79 s +/- 0.24 for
+  ParGeant4 with compression);
+* forked checkpointing (Section 5.3: ~0.2 s visible checkpoint);
+* coordinator barrier load (Section 5.4/6: "the single checkpoint
+  coordinator ... is not a bottleneck");
+* DejaVu comparison (Section 2: ~45% runtime overhead vs ~0 for DMTCP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.dejavu import DejavuComputation
+from repro.core.launch import DmtcpComputation
+from repro.harness.experiment import build_world
+from repro.harness.fig4 import register_fig4
+
+
+@dataclass
+class SyncAblation:
+    """Checkpoint time and the extra cost of syncing it to the platter."""
+
+    checkpoint_s: float
+    sync_extra_s: float
+
+
+def run_sync_ablation(seed: int = 0, compute_processes: int = 32, warmup_s: float = 8.0) -> SyncAblation:
+    """ParGeant4, compression on: checkpoint, then measure the extra cost
+    of syncing the dirty image data to the platter."""
+    n_nodes = max(compute_processes // 4, 1)
+    world = build_world(n_nodes, seed)
+    register_fig4(world)
+    comp = DmtcpComputation(world)
+    comp.launch(
+        "node00",
+        "mpich2_job",
+        ["mpich2_job", str(compute_processes), "pargeant4", "1000000", "0.05"],
+        env={"MPI_LAZY_CONNECT": "1"},
+    )
+    world.engine.run(until=warmup_s)
+    ckpt = comp.checkpoint()
+    t0 = world.engine.now
+    done = {"n": 0}
+    nodes = list(world.machine.nodes)
+    for node in nodes:
+        node.disk.sync().add_done(lambda: done.__setitem__("n", done["n"] + 1))
+    world.engine.run_until(lambda: done["n"] == len(nodes))
+    return SyncAblation(checkpoint_s=ckpt.duration, sync_extra_s=world.engine.now - t0)
+
+
+@dataclass
+class CoordinatorLoad:
+    """Barrier traffic seen by the root coordinator for one checkpoint."""
+
+    processes: int
+    checkpoint_s: float
+    barrier_messages: int
+    coordinator_seconds_per_ckpt: float
+    relay: bool = False
+
+
+def run_coordinator_load(n_procs: int, seed: int = 0, relay: bool = False) -> CoordinatorLoad:
+    """Barrier traffic vs computation size: many trivial processes on a
+    few nodes, one checkpoint, count root-coordinator messages.  With
+    ``relay=True`` the Section 6 distributed coordinator (per-node
+    combining relays) handles the barrier path instead.
+    """
+    world = build_world(4, seed)
+
+    def idle(sys, argv):
+        while True:
+            yield from sys.sleep(0.5)
+
+    world.register_program("idleproc", idle)
+    comp = DmtcpComputation(world, relay=relay)
+    for i in range(n_procs):
+        comp.launch(f"node{i % 4:02d}", "idleproc")
+    world.engine.run(until=2.0)
+    ckpt = comp.checkpoint()
+    msgs = comp.state.barrier_messages
+    per_msg = world.spec.dmtcp.coord_msg_s
+    return CoordinatorLoad(
+        processes=n_procs,
+        checkpoint_s=ckpt.duration,
+        barrier_messages=msgs,
+        coordinator_seconds_per_ckpt=msgs * per_msg,
+        relay=relay,
+    )
+
+
+@dataclass
+class DejavuComparison:
+    """Runtimes of the same workload under three checkpointing systems."""
+
+    plain_runtime_s: float
+    dejavu_runtime_s: float
+    dmtcp_runtime_s: float
+    dejavu_overhead: float
+    dmtcp_overhead: float
+
+
+def run_dejavu_comparison(seed: int = 0, iters: int = 20, ranks: int = 8) -> DejavuComparison:
+    """Chombo-like stencil: runtime under nothing, DejaVu, and DMTCP
+    (checkpointing disabled in all three -- this measures the *between
+    checkpoints* tax the paper highlights)."""
+
+    def run(mode: str) -> float:
+        world = build_world(4, seed)
+        env = {}
+        if mode == "dejavu":
+            DejavuComputation(world)
+            env = {"DEJAVU_CKPT": "1"}
+        t0 = world.engine.now
+        if mode == "dmtcp":
+            comp = DmtcpComputation(world)
+            proc = comp.launch(
+                "node00", "orterun", ["orterun", "-n", str(ranks), "chombo", str(iters)]
+            )
+        else:
+            proc = world.spawn_process(
+                "node00", "orterun", ["orterun", "-n", str(ranks), "chombo", str(iters)], env
+            )
+        world.engine.run_until(lambda: not proc.alive)
+        assert proc.exit_code == 0
+        return world.engine.now - t0
+
+    plain = run("plain")
+    dejavu = run("dejavu")
+    dmtcp = run("dmtcp")
+    return DejavuComparison(
+        plain_runtime_s=plain,
+        dejavu_runtime_s=dejavu,
+        dmtcp_runtime_s=dmtcp,
+        dejavu_overhead=dejavu / plain - 1.0,
+        dmtcp_overhead=dmtcp / plain - 1.0,
+    )

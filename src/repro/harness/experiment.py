@@ -1,0 +1,89 @@
+"""Shared measurement plumbing for the per-figure drivers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.apps import register_all_apps
+from repro.cluster import build_cluster
+from repro.config import CLUSTER_2008, DESKTOP_2008, HardwareSpec
+from repro.core.launch import DmtcpComputation
+
+MB = 2**20
+
+
+@dataclass
+class DesktopResult:
+    """One Figure 3 bar triple."""
+
+    app: str
+    checkpoint_s: float
+    restart_s: float
+    stored_mb: float
+    image_mb: float
+    processes: int
+
+
+@dataclass
+class DistributedResult:
+    """One Figure 4 bar group (single compression setting)."""
+
+    app: str
+    compressed: bool
+    checkpoint_s: float
+    restart_s: float
+    aggregate_stored_mb: float
+    aggregate_image_mb: float
+    processes: int
+
+
+def mean_std(values: list[float]) -> tuple[float, float]:
+    """Paper methodology: mean and population std over repetitions."""
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    return mean, math.sqrt(var)
+
+
+def build_world(
+    n_nodes: int,
+    seed: int,
+    spec: Optional[HardwareSpec] = None,
+    with_san: bool = False,
+):
+    """A cluster with every workload and both MPI stacks registered."""
+    world = build_cluster(n_nodes=n_nodes, spec=spec or CLUSTER_2008, seed=seed, with_san=with_san)
+    register_all_apps(world)
+    return world
+
+
+def build_desktop(seed: int):
+    """The Section 5.1 single-node desktop testbed."""
+    return build_world(1, seed, spec=DESKTOP_2008)
+
+
+def checkpoint_and_restart_cycle(
+    world,
+    comp: DmtcpComputation,
+    warmup_until: float,
+    placement: Optional[dict] = None,
+):
+    """Measure one checkpoint (continue) and one kill+restart.
+
+    Mirrors the paper's procedure: the timing checkpoint lets the
+    computation continue; the restart measurement then checkpoints with
+    --kill and runs the generated restart script.
+    Returns (checkpoint_outcome, restart_outcome).
+    """
+    world.engine.run(until=warmup_until)
+    ckpt = comp.checkpoint()
+    kill = comp.checkpoint(kill=True)
+    restart = comp.restart(plan=kill.plan, placement=placement)
+    return ckpt, restart
+
+
+def settle(world, extra: float = 0.2) -> None:
+    """Let in-flight activity quiesce before measuring."""
+    world.engine.run(until=world.engine.now + extra)

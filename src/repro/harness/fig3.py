@@ -1,0 +1,44 @@
+"""Figure 3: the 21 desktop applications, single node, compression on.
+
+3a: checkpoint and restart times; 3b: checkpoint sizes (MB).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.apps.profiles import APP_PROFILES
+from repro.apps.shell_apps import program_for
+from repro.core.launch import DmtcpComputation
+from repro.harness.experiment import (
+    MB,
+    DesktopResult,
+    build_desktop,
+    checkpoint_and_restart_cycle,
+)
+
+
+def run_fig3_app(app: str, seed: int = 0, warmup_s: float = 3.0) -> DesktopResult:
+    """Measure one Figure 3 application end to end (ckpt + restart)."""
+    world = build_desktop(seed)
+    comp = DmtcpComputation(world)
+    comp.launch("node00", program_for(app))
+    ckpt, restart = checkpoint_and_restart_cycle(world, comp, warmup_until=warmup_s)
+    return DesktopResult(
+        app=app,
+        checkpoint_s=ckpt.duration,
+        restart_s=restart.duration,
+        stored_mb=ckpt.total_stored_bytes / MB,
+        image_mb=ckpt.total_image_bytes / MB,
+        processes=len(ckpt.records),
+    )
+
+
+def run_fig3(
+    apps: Optional[Iterable[str]] = None, seed: int = 0
+) -> list[DesktopResult]:
+    """The full Figure 3 sweep (or a subset)."""
+    rows = []
+    for app in apps or APP_PROFILES:
+        rows.append(run_fig3_app(app, seed=seed))
+    return rows

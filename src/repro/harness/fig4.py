@@ -1,0 +1,138 @@
+"""Figure 4: distributed applications on 32 nodes.
+
+4a: checkpoint time; 4b: restart time; 4c: aggregate (cluster-wide)
+checkpoint size -- all with and without compression, for:
+
+  [1] sockets directly: iPython/Shell, iPython/Demo
+  [2] MPICH2: Baseline (hello world + MPD), ParGeant4, NAS/CG
+  [3] OpenMPI: Baseline (hello world + OpenRTE), EP, LU, SP, MG, IS, BT
+
+The paper runs 4 ranks per node (128 total; 36 for the square-grid
+codes BT and SP).  Because NAS class C working sets are cluster-wide
+totals, per-node image sizes -- and therefore checkpoint-time shapes --
+are independent of the ranks-per-node choice; the default here is 1
+rank per node (32 ranks; 25 for BT/SP) to keep the simulation light,
+with ``full_scale=True`` reproducing the paper's exact counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.launch import DmtcpComputation
+from repro.harness.experiment import (
+    MB,
+    DistributedResult,
+    build_world,
+    checkpoint_and_restart_cycle,
+)
+
+
+@dataclass(frozen=True)
+class Fig4App:
+    """One bar group of Figure 4."""
+
+    label: str
+    #: builds (launcher_program, argv) for a given rank count
+    build: Callable[[int], tuple[str, list[str]]]
+    #: ranks at paper scale / at light scale
+    ranks_full: int = 128
+    ranks_light: int = 32
+    env: tuple = ()
+    warmup_s: float = 8.0
+
+
+def _openmpi_app(program: str, iters: int):
+    return lambda n: ("orterun", ["orterun", "-n", str(n), program, str(iters)])
+
+
+def _mpich2_app(program: str, *args: str):
+    return lambda n: ("mpich2_job", ["mpich2_job", str(n), program, *args])
+
+
+FIG4_APPS: dict[str, Fig4App] = {
+    "iPython/Shell[1]": Fig4App(
+        "iPython/Shell[1]", lambda n: ("ipython_shell", ["ipython_shell"]), 1, 1
+    ),
+    "iPython/Demo[1]": Fig4App(
+        "iPython/Demo[1]", lambda n: ("ipython_demo", ["ipython_demo", str(n)]), 32, 32
+    ),
+    "Baseline[2]": Fig4App("Baseline[2]", _mpich2_app("mpi_hello", "1")),
+    "ParGeant4[2]": Fig4App(
+        "ParGeant4[2]",
+        _mpich2_app("pargeant4", "1000000", "0.05"),
+        env=(("MPI_LAZY_CONNECT", "1"),),
+    ),
+    "NAS/CG[2]": Fig4App("NAS/CG[2]", _mpich2_app("nas_cg", "1000000")),
+    "Baseline[3]": Fig4App("Baseline[3]", _openmpi_app("mpi_hello", 1)),
+    "NAS/EP[3]": Fig4App("NAS/EP[3]", _openmpi_app("nas_ep", 1000000)),
+    "NAS/LU[3]": Fig4App("NAS/LU[3]", _openmpi_app("nas_lu", 1000000)),
+    "NAS/SP[3]": Fig4App("NAS/SP[3]", _openmpi_app("nas_sp", 1000000), 36, 25),
+    "NAS/MG[3]": Fig4App("NAS/MG[3]", _openmpi_app("nas_mg", 1000000)),
+    "NAS/IS[3]": Fig4App("NAS/IS[3]", _openmpi_app("nas_is", 1000000), 128, 32),
+    "NAS/BT[3]": Fig4App("NAS/BT[3]", _openmpi_app("nas_bt", 1000000), 36, 25),
+}
+
+
+def mpich2_job_main(sys, argv):
+    """Convenience launcher: mpdboot across all nodes + mpiexec (the
+    Section 3 usage example), so one dmtcp_checkpoint covers the job."""
+    n_ranks = int(argv[1])
+    program = argv[2]
+    prog_args = argv[3:]
+    hosts = yield from sys.nodes()
+    boot_pid = yield from sys.spawn("mpdboot", ["mpdboot", "-n", str(len(hosts))])
+    yield from sys.waitpid(boot_pid)
+    exec_pid = yield from sys.spawn(
+        "mpiexec", ["mpiexec", "-n", str(n_ranks), program, *prog_args]
+    )
+    yield from sys.waitpid(exec_pid)
+
+
+def register_fig4(world) -> None:
+    """Register the mpich2_job convenience launcher."""
+    from repro.kernel.process import ProgramSpec, RegionSpec
+
+    if "mpich2_job" not in world.programs:
+        world.register_program(
+            "mpich2_job",
+            mpich2_job_main,
+            ProgramSpec("mpich2_job", regions=(RegionSpec("code", 128 * 1024, "code"),)),
+        )
+
+
+def run_fig4_app(
+    label: str,
+    compression: bool,
+    seed: int = 0,
+    n_nodes: int = 32,
+    full_scale: bool = False,
+    measure_restart: bool = True,
+) -> DistributedResult:
+    """Measure one Figure 4 bar group at one compression setting."""
+    app = FIG4_APPS[label]
+    ranks = app.ranks_full if full_scale else app.ranks_light
+    world = build_world(n_nodes, seed)
+    register_fig4(world)
+    comp = DmtcpComputation(world, compression=compression)
+    launcher, argv = app.build(ranks)
+    env = dict(app.env)
+    env["HELLO_HOLD_S"] = "1000000"
+    comp.launch("node00", launcher, argv, env=env)
+    if measure_restart:
+        ckpt, restart = checkpoint_and_restart_cycle(world, comp, app.warmup_s)
+        restart_s = restart.duration
+    else:
+        world.engine.run(until=app.warmup_s)
+        ckpt = comp.checkpoint()
+        restart_s = float("nan")
+    return DistributedResult(
+        app=label,
+        compressed=compression,
+        checkpoint_s=ckpt.duration,
+        restart_s=restart_s,
+        aggregate_stored_mb=ckpt.total_stored_bytes / MB,
+        aggregate_image_mb=ckpt.total_image_bytes / MB,
+        processes=len(ckpt.records),
+    )

@@ -1,0 +1,77 @@
+"""Figure 5: checkpoint/restart time vs number of ParGeant4 processes.
+
+ParGeant4 under MPICH2, compression on, 1 compute process per core and
+4 per node: the node count varies with the process count (16..128
+compute processes on 4..32 nodes).  "An additional 21 to 161 MPICH2
+resource management processes are also checkpointed."
+
+5a writes checkpoints to each node's local disk; 5b to the centralized
+RAID device (8 nodes over the Fibre Channel SAN, 24 over NFS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.launch import DmtcpComputation
+from repro.harness.experiment import MB, build_world, checkpoint_and_restart_cycle
+from repro.harness.fig4 import register_fig4
+
+
+@dataclass
+class Fig5Point:
+    """One x-axis point of Figure 5."""
+
+    compute_processes: int
+    nodes: int
+    total_processes: int
+    checkpoint_s: float
+    restart_s: float
+    aggregate_stored_mb: float
+    storage: str  # "local" | "san"
+
+
+def run_fig5_point(
+    compute_processes: int,
+    storage: str = "local",
+    seed: int = 0,
+    procs_per_node: int = 4,
+    warmup_s: float = 8.0,
+) -> Fig5Point:
+    """One x-axis point of Figure 5a (local) or 5b (SAN/NFS)."""
+    n_nodes = max(compute_processes // procs_per_node, 1)
+    world = build_world(n_nodes, seed, with_san=(storage == "san"))
+    register_fig4(world)
+    if storage == "san":
+        _mount_san_ckpt_dir(world)
+    comp = DmtcpComputation(
+        world,
+        compression=True,
+        ckpt_dir="/san/dmtcp" if storage == "san" else "/tmp/dmtcp",
+    )
+    comp.launch(
+        "node00",
+        "mpich2_job",
+        ["mpich2_job", str(compute_processes), "pargeant4", "1000000", "0.05"],
+        env={"MPI_LAZY_CONNECT": "1"},
+    )
+    ckpt, restart = checkpoint_and_restart_cycle(world, comp, warmup_s)
+    return Fig5Point(
+        compute_processes=compute_processes,
+        nodes=n_nodes,
+        total_processes=len(ckpt.records),
+        checkpoint_s=ckpt.duration,
+        restart_s=restart.duration,
+        aggregate_stored_mb=ckpt.total_stored_bytes / MB,
+        storage=storage,
+    )
+
+
+def _mount_san_ckpt_dir(world) -> None:
+    """Mount the shared checkpoint directory on every node: over Fibre
+    Channel on the SAN clients, over NFS elsewhere (Figure 5b setup)."""
+    from repro.kernel.filesystem import Namespace
+
+    shared = Namespace("san:ckpt")
+    for ns in world.nodes.values():
+        ns.mounts.add("/san", shared, "san")

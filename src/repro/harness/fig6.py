@@ -1,0 +1,57 @@
+"""Figure 6: checkpoint/restart time vs total memory usage.
+
+"A synthetic OpenMPI program allocating random data on 32 nodes.
+Compression is disabled.  Checkpoints written to local disk."  The
+expected shape: linear growth whose implied bandwidth is "well beyond
+the typical 100 MB/s of disk" thanks to the page cache absorbing the
+writes, with restart times similar (cache + page-table effects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.launch import DmtcpComputation
+from repro.harness.experiment import MB, build_world, checkpoint_and_restart_cycle
+
+GB = 2**30
+
+
+@dataclass
+class Fig6Point:
+    """One x-axis point of Figure 6."""
+
+    total_gb: float
+    checkpoint_s: float
+    restart_s: float
+    aggregate_image_mb: float
+    implied_write_mbps: float
+
+
+def run_fig6_point(
+    total_gb: float,
+    seed: int = 0,
+    n_nodes: int = 32,
+    ranks: int = 128,
+    warmup_s: float = 6.0,
+) -> Fig6Point:
+    """One x-axis point of Figure 6."""
+    per_rank_mb = max(int(total_gb * 1024 / ranks), 1)
+    world = build_world(n_nodes, seed)
+    comp = DmtcpComputation(world, compression=False)
+    comp.launch(
+        "node00",
+        "orterun",
+        ["orterun", "-n", str(ranks), "memhog"],
+        env={"MEMHOG_MB": str(per_rank_mb)},
+    )
+    ckpt, restart = checkpoint_and_restart_cycle(world, comp, warmup_s)
+    per_node_bytes = ckpt.total_image_bytes / n_nodes
+    implied = per_node_bytes / max(ckpt.duration, 1e-9) / MB
+    return Fig6Point(
+        total_gb=total_gb,
+        checkpoint_s=ckpt.duration,
+        restart_s=restart.duration,
+        aggregate_image_mb=ckpt.total_image_bytes / MB,
+        implied_write_mbps=implied,
+    )

@@ -1,0 +1,33 @@
+"""A Unix-like kernel for the simulated cluster.
+
+Implements every operating-system artifact the DMTCP paper says it must
+account for (Abstract; Section 4): fork, exec, ssh, mutexes/semaphores,
+TCP/IP sockets, UNIX domain sockets, pipes, ptys, terminal modes,
+controlling-terminal ownership, signal handlers, open and *shared* file
+descriptors, shared memory via mmap, parent-child relationships, and pids.
+
+The entry point is :class:`repro.kernel.world.World`, which owns the node
+kernels, the program registry and the ssh fabric.  Simulated programs are
+generator functions receiving a :class:`repro.kernel.syscalls.Sys` proxy;
+every interaction with the OS is a yielded syscall, which is what lets the
+DMTCP layer interpose wrappers exactly where the real package uses
+``LD_PRELOAD``.
+"""
+
+from repro.kernel.memory import AddressSpace, ContentProfile, MemoryRegion, PROFILES
+from repro.kernel.process import Process, ProgramSpec, RegionSpec, Thread
+from repro.kernel.syscalls import Sys
+from repro.kernel.world import World
+
+__all__ = [
+    "AddressSpace",
+    "ContentProfile",
+    "MemoryRegion",
+    "PROFILES",
+    "Process",
+    "ProgramSpec",
+    "RegionSpec",
+    "Sys",
+    "Thread",
+    "World",
+]

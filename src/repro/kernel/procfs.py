@@ -1,0 +1,50 @@
+"""/proc-style introspection.
+
+MTCP discovers what to checkpoint by parsing ``/proc/self/maps``; the
+runCMS case study counts its 540 dynamic libraries the same way.  This
+module renders the equivalent views from simulated kernel state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.process import Process
+
+_KIND_NAMES = {
+    "code": "r-xp",
+    "lib": "r-xp",
+    "data": "rw-p",
+    "heap": "rw-p",
+    "stack": "rw-p",
+    "anon": "rw-p",
+    "shm": "rw-s",
+}
+
+
+def render_maps(process: "Process") -> str:
+    """Render the process's mappings like ``/proc/<pid>/maps``."""
+    lines = []
+    for region in sorted(process.address_space.regions, key=lambda r: r.start):
+        perms = _KIND_NAMES.get(region.kind, region.perms)
+        path = region.path or (f"[{region.kind}]" if region.kind != "anon" else "")
+        lines.append(
+            f"{region.start:012x}-{region.end:012x} {perms} 00000000 00:00 "
+            f"{region.region_id} {path}"
+        )
+    return "\n".join(lines)
+
+
+def count_libraries(process: "Process") -> int:
+    """Number of mapped dynamic libraries (the runCMS '540 dylibs' metric)."""
+    return sum(1 for r in process.address_space.regions if r.kind == "lib")
+
+
+def render_fds(process: "Process") -> str:
+    """Render the FD table like ``ls -l /proc/<pid>/fd``."""
+    lines = []
+    for fd in sorted(process.fds):
+        desc = process.fds[fd].description
+        lines.append(f"{fd} -> {type(desc).__name__}:{getattr(desc, 'inode', '?')}")
+    return "\n".join(lines)

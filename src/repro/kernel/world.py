@@ -1,0 +1,1022 @@
+"""The cluster kernel: processes, syscall dispatch, nodes, ssh fabric.
+
+One :class:`World` spans the whole simulated cluster.  Each node has its
+own pid space, port space, filesystem namespace and mount table; the
+world routes syscalls from running tasks to the node-local state of the
+issuing process.
+
+The world is deliberately ignorant of DMTCP.  The only integration point
+is :attr:`World.hijack_factory`: when a process starts with the hijack
+environment variable set, the factory wraps its syscall interface --
+the simulation's ``LD_PRELOAD``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.config import HardwareSpec
+from repro.errors import KernelError, SyscallError
+from repro.hardware.topology import Machine
+from repro.kernel.filesystem import Mount, MountTable, Namespace, OpenFile
+from repro.kernel.ipc import PtyPair, check_pipe_direction, make_pipe
+from repro.kernel.process import (
+    DEFAULT_SPEC,
+    Process,
+    ProgramSpec,
+    Thread,
+)
+from repro.kernel.sockets import (
+    ListenerSocket,
+    SocketEndpoint,
+    connect_endpoints,
+    make_socketpair,
+    transmit,
+)
+from repro.kernel.streams import Chunk
+from repro.kernel.sync import Semaphore
+from repro.kernel.syscalls import Sys
+from repro.sim.rng import RandomStreams
+from repro.sim.tasks import Scheduler, Task, TaskState
+
+#: Environment variable that triggers hijack-library injection, the
+#: simulation's LD_PRELOAD=dmtcphijack.so.
+HIJACK_ENV = "DMTCP_HIJACK"
+
+SIGHUP, SIGINT, SIGKILL, SIGTERM, SIGCHLD = 1, 2, 9, 15, 17
+
+
+class _NodeState:
+    """Per-node kernel tables."""
+
+    def __init__(self, world: "World", node) -> None:
+        self.node = node
+        self.next_pid = 100
+        self.pid_max = world.pid_max
+        self.processes: dict[int, Process] = {}
+        self.root_ns = Namespace(f"{node.hostname}:root")
+        self.mounts = MountTable(node, self.root_ns)
+        self.next_port = 30000
+
+    def alloc_pid(self) -> int:
+        """Allocate a free pid, wrapping like a real pid counter."""
+        for _ in range(self.pid_max):
+            pid = self.next_pid
+            self.next_pid += 1
+            if self.next_pid >= self.pid_max:
+                self.next_pid = 100
+            if pid not in self.processes:
+                return pid
+        raise KernelError(f"{self.node.hostname}: pid space exhausted")
+
+    def alloc_port(self) -> int:
+        """Allocate the next ephemeral port."""
+        port = self.next_port
+        self.next_port += 1
+        return port
+
+
+class World:
+    """The simulated cluster operating system."""
+
+    def __init__(self, machine: Machine, seed: int = 0, pid_max: int = 30000):
+        self.machine = machine
+        self.engine = machine.engine
+        self.spec: HardwareSpec = machine.spec
+        self.scheduler = Scheduler(self.engine)
+        self.rng = RandomStreams(seed)
+        self.pid_max = pid_max
+        self.nodes: dict[str, _NodeState] = {
+            node.hostname: _NodeState(self, node) for node in machine.nodes
+        }
+        self.programs: dict[str, tuple[ProgramSpec, Callable]] = {}
+        self._listeners: dict[tuple[str, int], ListenerSocket] = {}
+        self._unix_listeners: dict[tuple[str, str], ListenerSocket] = {}
+        self.shm_segments: dict[tuple[str, str], Any] = {}
+        #: Interposition registry: env-var name -> factory.  A process
+        #: whose environment carries the variable gets its syscall
+        #: interface wrapped by the factory (the LD_PRELOAD analogue).
+        #: DMTCP registers under HIJACK_ENV; baselines register their own.
+        self.interpose_factories: dict[str, Callable[["World", Process, Sys], Sys]] = {}
+        #: All processes ever spawned, for post-mortem inspection.
+        self.all_processes: list[Process] = []
+
+    # ------------------------------------------------------------------
+    # Program registry and spawning
+    # ------------------------------------------------------------------
+    def register_program(
+        self, name: str, main: Callable, spec: Optional[ProgramSpec] = None
+    ) -> None:
+        """Register ``main(sys, argv)`` under ``name``."""
+        self.programs[name] = (spec or DEFAULT_SPEC, main)
+
+    def lookup_program(self, name: str) -> tuple[ProgramSpec, Callable]:
+        """Resolve a registered program or raise ENOENT."""
+        try:
+            return self.programs[name]
+        except KeyError:
+            raise SyscallError("ENOENT", f"no such program: {name}") from None
+
+    def node_state(self, hostname: str) -> _NodeState:
+        """Per-node kernel tables for ``hostname``."""
+        try:
+            return self.nodes[hostname]
+        except KeyError:
+            raise SyscallError("EHOSTUNREACH", hostname) from None
+
+    def spawn_process(
+        self,
+        hostname: str,
+        program: str,
+        argv: Optional[list[str]] = None,
+        env: Optional[dict[str, str]] = None,
+        parent: Optional[Process] = None,
+    ) -> Process:
+        """Create a process running ``program`` (init/sshd entry point)."""
+        spec, main = self.lookup_program(program)
+        ns = self.node_state(hostname)
+        pid = ns.alloc_pid()
+        process = Process(self, ns.node, pid, program, argv or [program], env or {}, parent)
+        ns.processes[pid] = process
+        self.all_processes.append(process)
+        if parent is not None:
+            parent.children.append(process)
+        process.build_image_from_spec(spec)
+        process.sys = self._make_sys(process)
+        self._start_main_thread(process, main)
+        return process
+
+    @property
+    def hijack_factory(self):
+        """The DMTCP interposition factory (back-compat accessor)."""
+        return self.interpose_factories.get(HIJACK_ENV)
+
+    @hijack_factory.setter
+    def hijack_factory(self, factory) -> None:
+        self.interpose_factories[HIJACK_ENV] = factory
+
+    def _make_sys(self, process: Process) -> Sys:
+        base = Sys()
+        for env_key, factory in self.interpose_factories.items():
+            if process.env.get(env_key):
+                return factory(self, process, base)
+        return base
+
+    def _start_main_thread(self, process: Process, main: Callable) -> Thread:
+        thread = Thread(process, f"{process.program}[{process.pid}]")
+        process.threads.append(thread)
+        gen = self._thread_body(thread, main(process.sys, process.argv), is_main=True)
+        task = self.scheduler.spawn(gen, name=thread.name, handler=self._dispatch)
+        task.context = thread
+        thread.task = task
+        return thread
+
+    def spawn_thread(
+        self, process: Process, gen, name: str, kind: str = "user"
+    ) -> Thread:
+        """Start an extra thread in ``process`` driving ``gen``."""
+        thread = Thread(process, name, kind=kind)
+        process.threads.append(thread)
+        task = self.scheduler.spawn(
+            self._thread_body(thread, gen, is_main=False), name=name, handler=self._dispatch
+        )
+        task.context = thread
+        thread.task = task
+        return thread
+
+    def _thread_body(self, thread: Thread, gen, is_main: bool):
+        """Wrap a thread generator: main-thread return implies exit(0).
+
+        The owning process is read through ``thread`` *at exit time*, not
+        captured: a checkpointed continuation adopted into a restarted
+        process must terminate the new process, not the dead original.
+        """
+        try:
+            result = yield from gen
+        except Exception:
+            # an unhandled error kills the whole process, like an uncaught
+            # exception / fatal signal would; the scheduler records it
+            self.terminate_process(thread.process, code=1)
+            raise
+        if is_main and thread.process.alive:
+            self.terminate_process(thread.process, code=0)
+        return result
+
+    # ------------------------------------------------------------------
+    # Process lifecycle
+    # ------------------------------------------------------------------
+    def terminate_process(self, process: Process, code: int) -> None:
+        """Normal exit / fatal signal: threads die, fds close, zombie left."""
+        if process.state != "running":
+            return
+        process.state = "zombie"
+        process.exit_code = code
+        for thread in process.live_threads:
+            if thread.task is not None and not thread.task.done:
+                thread.task.drop()
+        for fd in list(process.fds):
+            entry = process.fds.pop(fd)
+            entry.description.decref()
+        if process.parent is not None and process.parent.alive:
+            process.parent.pending_signals.append(SIGCHLD)
+        for child in process.children:
+            child.parent = None  # orphaned
+        process.exited.resolve(code)
+
+    def reap_process(self, process: Process) -> None:
+        """Retire a zombie and free its pid."""
+        if process.state != "zombie":
+            return
+        process.state = "dead"
+        self.node_state(process.node.hostname).processes.pop(process.pid, None)
+
+    def destroy_process(self, process: Process, keep_continuations: bool = False) -> None:
+        """Hard kill from outside (cluster failure / checkpoint teardown).
+
+        With ``keep_continuations`` the thread tasks are left frozen and
+        sealed -- the restart path thaws them inside rebuilt processes.
+        """
+        if process.state == "dead":
+            return
+        if keep_continuations:
+            for thread in process.live_threads:
+                task = thread.task
+                if task.state is not TaskState.FROZEN and not task.done:
+                    task.freeze()
+                task.seal()
+            process.state = "zombie"
+            process.exit_code = -SIGKILL
+            for fd in list(process.fds):
+                entry = process.fds.pop(fd)
+                entry.description.decref()
+            if not process.exited.done:
+                process.exited.resolve(-SIGKILL)
+            self.reap_process(process)
+        else:
+            self.terminate_process(process, code=-SIGKILL)
+            self.reap_process(process)
+
+    def find_process(self, hostname: str, pid: int) -> Optional[Process]:
+        """Look up a (possibly dead) process by node and pid."""
+        return self.node_state(hostname).processes.get(pid)
+
+    def live_processes(self) -> list[Process]:
+        """Every currently running process, cluster-wide."""
+        return [
+            p
+            for ns in self.nodes.values()
+            for p in ns.processes.values()
+            if p.alive
+        ]
+
+    # ------------------------------------------------------------------
+    # Listener registries
+    # ------------------------------------------------------------------
+    def register_listener(self, listener: ListenerSocket) -> None:
+        """Claim the listener's port/path in the cluster-wide registry."""
+        if listener.addr is not None:
+            key = (listener.node.hostname, listener.addr[1])
+            if key in self._listeners:
+                raise SyscallError("EADDRINUSE", str(key))
+            self._listeners[key] = listener
+        if listener.path is not None:
+            ukey = (listener.node.hostname, listener.path)
+            if ukey in self._unix_listeners:
+                raise SyscallError("EADDRINUSE", str(ukey))
+            self._unix_listeners[ukey] = listener
+
+    def release_port(self, node, port: int) -> None:
+        """Free a TCP port (listener closed)."""
+        self._listeners.pop((node.hostname, port), None)
+
+    def release_unix_path(self, node, path: str) -> None:
+        """Free a unix-socket path (listener closed)."""
+        self._unix_listeners.pop((node.hostname, path), None)
+
+    def lookup_listener(
+        self, hostname: str, port: int, path: Optional[str]
+    ) -> Optional[ListenerSocket]:
+        """Find the listener a connect() should reach, if any."""
+        if path is not None:
+            return self._unix_listeners.get((hostname, path))
+        return self._listeners.get((hostname, port))
+
+    # ------------------------------------------------------------------
+    # Syscall dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, task: Task, call) -> None:
+        thread: Thread = task.context
+        process: Process = thread.process
+        if not process.alive:
+            return  # process died under this thread's feet
+        handler = getattr(self, f"_sys_{call.name}", None)
+        if handler is None:
+            task.fail_call(SyscallError("ENOSYS", call.name))
+            return
+        epoch = task.epoch
+
+        def run() -> None:
+            if task.done or task.epoch != epoch or task.state is TaskState.FROZEN:
+                return
+            try:
+                handler(task, thread, process, *call.args, **call.kwargs)
+            except SyscallError as err:
+                task.fail_call(err)
+
+        self.engine.call_after(self.spec.os.syscall_s, run)
+
+    def _still_current(self, task: Task):
+        """Guard for completion callbacks: the task must still be waiting
+        on the same call, in the same kernel epoch.
+
+        A frozen/thawed task re-issues its call, re-registering fresh
+        callbacks; stale ones from the first issue must not fire twice.
+        While frozen, ``pending_call`` is still the same object, so
+        results that land during suspension are delivered (stored by
+        ``complete_call`` as the frozen result).
+        """
+        epoch = task.epoch
+        call = task.pending_call
+
+        def ok() -> bool:
+            return (
+                not task.done
+                and task.epoch == epoch
+                and task.pending_call is call
+                and call is not None
+            )
+
+        return ok
+
+    def _settle(self, task: Task, fut, transform=None) -> None:
+        """Complete ``task``'s pending call when ``fut`` settles."""
+        current = self._still_current(task)
+
+        def on_settled(value, exc) -> None:
+            if not current():
+                return
+            if exc is not None:
+                task.fail_call(exc)
+            else:
+                task.complete_call(transform(value) if transform else value)
+
+        fut.when_settled(on_settled)
+
+    def _complete_after(self, task: Task, delay: float, value=None) -> None:
+        current = self._still_current(task)
+
+        def fire() -> None:
+            if current():
+                task.complete_call(value)
+
+        self.engine.call_after(delay, fire)
+
+    # ------------------------------------------------------------------
+    # Trivial process syscalls
+    # ------------------------------------------------------------------
+    def _sys_getpid(self, task, thread, process) -> None:
+        task.complete_call(process.pid)
+
+    def _sys_getppid(self, task, thread, process) -> None:
+        task.complete_call(process.parent.pid if process.parent else 0)
+
+    def _sys_gethostname(self, task, thread, process) -> None:
+        task.complete_call(process.node.hostname)
+
+    def _sys_time(self, task, thread, process) -> None:
+        task.complete_call(self.engine.now)
+
+    def _sys_sleep(self, task, thread, process, seconds: float) -> None:
+        self._complete_after(task, seconds)
+
+    def _sys_cpu(self, task, thread, process, seconds: float) -> None:
+        self._settle(task, process.node.cpu_burst(seconds))
+
+    def _sys_nodes(self, task, thread, process) -> None:
+        task.complete_call(list(self.nodes))
+
+    def _sys_getenv(self, task, thread, process, key, default) -> None:
+        task.complete_call(process.env.get(key, default))
+
+    def _sys_setenv(self, task, thread, process, key, value) -> None:
+        process.env[key] = value
+        task.complete_call(None)
+
+    def _sys_environ(self, task, thread, process) -> None:
+        task.complete_call(dict(process.env))
+
+    def _sys_signal(self, task, thread, process, sig, action) -> None:
+        process.signal_handlers[sig] = action
+        task.complete_call(None)
+
+    def _sys_kill(self, task, thread, process, pid, sig) -> None:
+        target = self.find_process(process.node.hostname, pid)
+        if target is None or not target.alive:
+            raise SyscallError("ESRCH", f"pid {pid}")
+        action = target.signal_handlers.get(sig, "default")
+        if sig == SIGKILL or (action == "default" and sig in (SIGHUP, SIGINT, SIGTERM)):
+            self.terminate_process(target, code=-sig)
+        elif action == "ignore":
+            pass
+        else:
+            target.pending_signals.append(sig)
+        task.complete_call(None)
+
+    # ------------------------------------------------------------------
+    # fork / exec / exit / wait
+    # ------------------------------------------------------------------
+    def _fork_cost(self, process: Process) -> float:
+        mb = process.address_space.total_bytes / 2**20
+        return self.spec.os.fork_base_s + mb * self.spec.os.fork_per_mb_s
+
+    def _sys_fork(self, task, thread, process, child_main, *args) -> None:
+        def do_fork() -> None:
+            if task.done or not process.alive:
+                return
+            ns = self.node_state(process.node.hostname)
+            pid = ns.alloc_pid()
+            child = Process(
+                self, process.node, pid, process.program, process.argv, dict(process.env), process
+            )
+            ns.processes[pid] = child
+            self.all_processes.append(child)
+            process.children.append(child)
+            child.address_space = process.address_space.fork_copy()
+            process.fork_fd_table(child)
+            child.signal_handlers = dict(process.signal_handlers)
+            child.ctty = process.ctty
+            child.sid = process.sid
+            child.sys = self._make_sys(child)
+            thread_obj = Thread(child, f"{child.program}[{pid}]")
+            child.threads.append(thread_obj)
+            gen = self._thread_body(thread_obj, child_main(child.sys, *args), is_main=True)
+            t = self.scheduler.spawn(gen, name=thread_obj.name, handler=self._dispatch)
+            t.context = thread_obj
+            thread_obj.task = t
+            task.complete_call(pid)
+
+        self.engine.call_after(self._fork_cost(process), do_fork)
+
+    def _sys_execve(self, task, thread, process, program, argv, env) -> None:
+        spec, main = self.lookup_program(program)
+
+        def do_exec() -> None:
+            if not process.alive:
+                return
+            for fd in [f for f, e in process.fds.items() if e.cloexec]:
+                process.drop_fd(fd)
+            for t in process.live_threads:
+                if t.task is not task and not t.task.done:
+                    t.task.drop()
+            process.threads = []
+            process.user_state.clear()
+            process.signal_handlers = {}
+            process.program = program
+            process.argv = list(argv)
+            if env is not None:
+                process.env = dict(env)
+            process.build_image_from_spec(spec)
+            process.sys = self._make_sys(process)
+            self._start_main_thread(process, main)
+            task.drop()  # execve does not return
+
+        self.engine.call_after(self.spec.os.exec_s, do_exec)
+
+    def _sys_spawn(self, task, thread, process, program, argv, env) -> None:
+        spec, main = self.lookup_program(program)
+
+        def do_spawn() -> None:
+            if task.done or not process.alive:
+                return
+            merged = dict(process.env)
+            if env:
+                merged.update(env)
+            child = self.spawn_process(
+                process.node.hostname, program, argv, merged, parent=process
+            )
+            task.complete_call(child.pid)
+
+        self.engine.call_after(
+            self._fork_cost(process) + self.spec.os.exec_s, do_spawn
+        )
+
+    def _sys_exit(self, task, thread, process, code) -> None:
+        self.terminate_process(process, code)
+        # task was dropped by terminate_process
+
+    def _sys_waitpid(self, task, thread, process, pid) -> None:
+        child = next((c for c in process.children if c.pid == pid), None)
+        if child is None:
+            raise SyscallError("ECHILD", f"pid {pid}")
+        current = self._still_current(task)
+
+        def reap() -> None:
+            if not current():
+                return
+            if child in process.children:
+                process.children.remove(child)
+            self.reap_process(child)
+            task.complete_call((pid, child.exit_code))
+
+        if child.state == "zombie":
+            reap()
+        else:
+            child.exited.add_done(reap)
+
+    # ------------------------------------------------------------------
+    # Threads and semaphores
+    # ------------------------------------------------------------------
+    def _sys_thread_create(self, task, thread, process, fn, *args) -> None:
+        name = f"{process.program}[{process.pid}]-t{len(process.threads)}"
+        new_thread = self.spawn_thread(process, fn(process.sys, *args), name)
+        task.complete_call(new_thread.tid)
+
+    def _sys_thread_join(self, task, thread, process, tid) -> None:
+        target = next((t for t in process.threads if t.tid == tid), None)
+        if target is None or target.task is None:
+            raise SyscallError("ESRCH", f"tid {tid}")
+        current = self._still_current(task)
+
+        def joined() -> None:
+            if current():
+                task.complete_call(None)
+
+        target.task.done_future.add_done(joined)
+
+    def _semaphores(self, process: Process) -> dict[int, Semaphore]:
+        return process.user_state.setdefault("_semaphores", {})
+
+    def _sys_sem_create(self, task, thread, process, value) -> None:
+        sem = Semaphore(value)
+        self._semaphores(process)[sem.sem_id] = sem
+        task.complete_call(sem.sem_id)
+
+    def _sys_sem_acquire(self, task, thread, process, sem_id) -> None:
+        sem = self._semaphores(process).get(sem_id)
+        if sem is None:
+            raise SyscallError("EINVAL", f"semaphore {sem_id}")
+        sem.unpark(task)  # drop any stale park from a pre-freeze attempt
+        if sem.try_acquire():
+            task.complete_call(None)
+        else:
+            sem.park(task)
+
+    def _sys_sem_release(self, task, thread, process, sem_id) -> None:
+        sem = self._semaphores(process).get(sem_id)
+        if sem is None:
+            raise SyscallError("EINVAL", f"semaphore {sem_id}")
+        sem.release()
+        task.complete_call(None)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def _sys_mmap(self, task, thread, process, size, profile, shared, path, kind) -> None:
+        from repro.kernel.memory import PROFILES
+
+        prof = PROFILES.get(profile)
+        if prof is None:
+            raise SyscallError("EINVAL", f"profile {profile}")
+        if shared and path is not None:
+            mount = self.node_state(process.node.hostname).mounts.resolve(path)
+            key = (mount.namespace.name, path)
+            region = self.shm_segments.get(key)
+            if region is None:
+                region = process.address_space.map_region(
+                    size, "shm", prof, path=path, shared=True
+                )
+                self.shm_segments[key] = region
+                if mount.namespace.lookup(path) is None:
+                    backing = mount.namespace.create(path)
+                    backing.size = region.size
+            else:
+                process.address_space.attach(region)
+            task.complete_call(region.region_id)
+            return
+        region = process.address_space.map_region(size, kind, prof, path=path, shared=shared)
+        task.complete_call(region.region_id)
+
+    def _sys_munmap(self, task, thread, process, region_id) -> None:
+        try:
+            process.address_space.unmap(region_id)
+        except KernelError as err:
+            raise SyscallError("EINVAL", str(err)) from None
+        task.complete_call(None)
+
+    def _sys_sbrk(self, task, thread, process, nbytes, profile) -> None:
+        from repro.kernel.memory import PROFILES
+
+        prof = PROFILES.get(profile)
+        if prof is None:
+            raise SyscallError("EINVAL", f"profile {profile}")
+        region = process.address_space.sbrk(nbytes, prof)
+        task.complete_call(region.region_id)
+
+    def _sys_mem_touch(self, task, thread, process, region_id, fraction) -> None:
+        try:
+            process.address_space.find(region_id).touch(fraction)
+        except KernelError as err:
+            raise SyscallError("EINVAL", str(err)) from None
+        task.complete_call(None)
+
+    def _sys_proc_maps(self, task, thread, process) -> None:
+        from repro.kernel.procfs import render_maps
+
+        task.complete_call(render_maps(process))
+
+    # ------------------------------------------------------------------
+    # Files
+    # ------------------------------------------------------------------
+    def _sys_open(self, task, thread, process, path, flags) -> None:
+        ns = self.node_state(process.node.hostname)
+        mount = ns.mounts.resolve(path)
+        file = mount.namespace.lookup(path)
+        if file is None:
+            if "r" == flags:
+                raise SyscallError("ENOENT", path)
+            file = mount.namespace.create(path)
+        if flags == "w":  # write-only open truncates; "rw" does not
+            file.size = 0
+            file.payload = None
+        desc = OpenFile(file, mount, ns.mounts, flags)
+        fd = process.alloc_fd(desc)
+        self._complete_after(task, self.spec.disk.op_latency_s, fd)
+
+    def _sys_close(self, task, thread, process, fd) -> None:
+        process.drop_fd(fd)
+        task.complete_call(None)
+
+    def _sys_dup2(self, task, thread, process, oldfd, newfd) -> None:
+        desc = process.get_fd(oldfd)
+        process.install_fd(newfd, desc)
+        task.complete_call(newfd)
+
+    def _sys_write(self, task, thread, process, fd, nbytes, payload) -> None:
+        desc = process.get_fd(fd)
+        if not isinstance(desc, OpenFile):
+            raise SyscallError("EINVAL", f"fd {fd} is not a file; use send")
+        if not desc.writable:
+            raise SyscallError("EBADF", f"fd {fd} not writable")
+        fut = desc.table.charge_write(desc.mount, nbytes)
+
+        def finish(_value, exc) -> None:
+            if exc is not None or task.done:
+                return
+            desc.offset += nbytes
+            desc.file.size = max(desc.file.size, desc.offset)
+            desc.file.last_write_time = self.engine.now
+            if payload is not None:
+                desc.file.payload = payload
+            task.complete_call(nbytes)
+
+        fut.when_settled(finish)
+
+    def _sys_read(self, task, thread, process, fd, nbytes) -> None:
+        desc = process.get_fd(fd)
+        if not isinstance(desc, OpenFile):
+            raise SyscallError("EINVAL", f"fd {fd} is not a file; use recv")
+        avail = desc.file.size - desc.offset
+        n = max(min(nbytes, avail), 0)
+        if n == 0:
+            task.complete_call((0, None))
+            return
+        cached = (
+            self.engine.now - desc.file.last_write_time
+            < self.spec.disk.cache_retention_s
+        )
+        fut = desc.table.charge_read(desc.mount, n, cached)
+
+        def finish(_value, exc) -> None:
+            if exc is not None or task.done:
+                return
+            desc.offset += n
+            task.complete_call((n, desc.file.payload))
+
+        fut.when_settled(finish)
+
+    def _sys_lseek(self, task, thread, process, fd, offset) -> None:
+        desc = process.get_fd(fd)
+        if not isinstance(desc, OpenFile):
+            raise SyscallError("ESPIPE", f"fd {fd}")
+        desc.offset = offset
+        task.complete_call(offset)
+
+    def _sys_fsync(self, task, thread, process, fd) -> None:
+        desc = process.get_fd(fd)
+        if isinstance(desc, OpenFile) and desc.mount.storage == "local":
+            self._settle(task, process.node.disk.sync())
+        else:
+            task.complete_call(None)
+
+    def _sys_sync(self, task, thread, process) -> None:
+        self._settle(task, process.node.disk.sync())
+
+    def _sys_unlink(self, task, thread, process, path) -> None:
+        ns = self.node_state(process.node.hostname)
+        mount = ns.mounts.resolve(path)
+        mount.namespace.unlink(path)
+        task.complete_call(None)
+
+    def _sys_stat(self, task, thread, process, path) -> None:
+        ns = self.node_state(process.node.hostname)
+        mount = ns.mounts.resolve(path)
+        file = mount.namespace.lookup(path)
+        if file is None:
+            task.complete_call(None)
+        else:
+            task.complete_call({"size": file.size, "perms": file.perms, "path": path})
+
+    def _sys_listdir(self, task, thread, process, prefix) -> None:
+        ns = self.node_state(process.node.hostname)
+        mount = ns.mounts.resolve(prefix)
+        task.complete_call(mount.namespace.listdir(prefix))
+
+    def _sys_fcntl(self, task, thread, process, fd, cmd, arg) -> None:
+        entry = process.fds.get(fd)
+        if entry is None:
+            raise SyscallError("EBADF", f"fd {fd}")
+        if cmd == "F_SETOWN":
+            entry.description.owner_pid = arg
+            task.complete_call(None)
+        elif cmd == "F_GETOWN":
+            task.complete_call(entry.description.owner_pid)
+        elif cmd == "F_SETFD_CLOEXEC":
+            entry.cloexec = bool(arg)
+            task.complete_call(None)
+        elif cmd == "F_GETFD":
+            task.complete_call(int(entry.cloexec))
+        else:
+            raise SyscallError("EINVAL", f"fcntl cmd {cmd}")
+
+    # ------------------------------------------------------------------
+    # Sockets
+    # ------------------------------------------------------------------
+    def _socket_desc(self, process, fd) -> SocketEndpoint:
+        desc = process.get_fd(fd)
+        if not isinstance(desc, SocketEndpoint):
+            raise SyscallError("ENOTSOCK", f"fd {fd}")
+        return desc
+
+    def _sys_socket(self, task, thread, process, domain) -> None:
+        ep = SocketEndpoint(self, process.node, domain)
+        task.complete_call(process.alloc_fd(ep))
+
+    def _sys_bind(self, task, thread, process, fd, port, path) -> None:
+        ep = self._socket_desc(process, fd)
+        if path is not None:
+            ep.local_path = path
+        else:
+            if port == 0:
+                port = self.node_state(process.node.hostname).alloc_port()
+            ep.local_addr = (process.node.hostname, port)
+        task.complete_call(ep.local_addr or ep.local_path)
+
+    def _sys_listen(self, task, thread, process, fd, backlog) -> None:
+        ep = self._socket_desc(process, fd)
+        listener = ListenerSocket(self, process.node, ep.domain)
+        if ep.local_addr is None and ep.local_path is None:
+            # listen on an unbound socket: auto-bind an ephemeral port
+            port = self.node_state(process.node.hostname).alloc_port()
+            ep.local_addr = (process.node.hostname, port)
+        listener.addr = ep.local_addr
+        listener.path = ep.local_path
+        listener.options = dict(ep.options)
+        self.register_listener(listener)
+        # replace the description in this slot with the listener
+        entry = process.fds[fd]
+        entry.description.decref()
+        listener.incref()
+        entry.description = listener
+        task.complete_call(listener.addr or listener.path)
+
+    def _sys_accept(self, task, thread, process, fd) -> None:
+        desc = process.get_fd(fd)
+        if not isinstance(desc, ListenerSocket):
+            raise SyscallError("EINVAL", f"fd {fd} is not listening")
+        epoch = task.epoch
+
+        def attempt() -> None:
+            if task.done or task.epoch != epoch or task.state is TaskState.FROZEN:
+                return
+            if task.pending_call is None:
+                return
+            if desc.backlog:
+                ep = desc.backlog.pop(0)
+                ep.origin = "accept"
+                new_fd = process.alloc_fd(ep)
+                task.complete_call(new_fd)
+            elif desc.closed:
+                task.fail_call(SyscallError("EBADF", "listener closed"))
+            else:
+                desc.wait_backlog().add_done(attempt)
+
+        attempt()
+
+    def _sys_connect(self, task, thread, process, fd, host, port, path) -> None:
+        ep = self._socket_desc(process, fd)
+        if ep.connected:
+            raise SyscallError("EISCONN", f"fd {fd}")
+        listener = self.lookup_listener(host, port, path)
+        rtt = 2 * self.spec.network.latency_s if process.node.hostname != host else 1e-6
+        if listener is None or listener.closed:
+            epoch = task.epoch
+
+            def refuse() -> None:
+                if task.done or task.epoch != epoch:
+                    return
+                task.fail_call(SyscallError("ECONNREFUSED", f"{host}:{port or path}"))
+
+            self.engine.call_after(rtt, refuse)
+            return
+        server_ep = SocketEndpoint(self, listener.node, ep.domain)
+        server_ep.origin = "accept"
+        server_ep.local_addr = listener.addr
+        server_ep.local_path = listener.path
+        if ep.local_addr is None and path is None:
+            ep.local_addr = (
+                process.node.hostname,
+                self.node_state(process.node.hostname).alloc_port(),
+            )
+        ep.origin = ep.origin or "connect"
+        connect_endpoints(ep, server_ep)
+
+        def establish() -> None:
+            if listener.closed:
+                if not task.done:
+                    task.fail_call(SyscallError("ECONNREFUSED", f"{host}:{port or path}"))
+                return
+            listener.push_established(server_ep)
+            if not task.done:
+                task.complete_call(None)
+
+        self.engine.call_after(rtt, establish)
+
+    def _sys_send(self, task, thread, process, fd, nbytes, data, ctrl) -> None:
+        self._sys_send_chunk(task, thread, process, fd, Chunk(nbytes, data=data, ctrl=ctrl))
+
+    def _sys_send_chunk(self, task, thread, process, fd, chunk, force=False) -> None:
+        ep = self._socket_desc(process, fd)
+        check_pipe_direction(ep, "send")
+        self._settle(
+            task, transmit(self, ep, chunk, force=force), transform=lambda _: chunk.nbytes
+        )
+
+    def _sys_recv(self, task, thread, process, fd) -> None:
+        ep = self._socket_desc(process, fd)
+        check_pipe_direction(ep, "recv")
+        epoch = task.epoch
+
+        def attempt() -> None:
+            if task.done or task.epoch != epoch or task.state is TaskState.FROZEN:
+                return
+            if task.pending_call is None:
+                return
+            chunk = ep.rx.take()
+            if chunk is not None:
+                task.complete_call(chunk)
+            elif ep.rx.eof or ep.closed:
+                task.complete_call(None)
+            else:
+                ep.rx.wait_data().add_done(attempt)
+
+        attempt()
+
+    def _sys_setsockopt(self, task, thread, process, fd, option, value) -> None:
+        desc = process.get_fd(fd)
+        if not isinstance(desc, (SocketEndpoint, ListenerSocket)):
+            raise SyscallError("ENOTSOCK", f"fd {fd}")
+        desc.options[option] = value
+        if option in ("SO_RCVBUF", "SO_SNDBUF") and isinstance(desc, SocketEndpoint):
+            desc.set_buffer_size(value)
+        task.complete_call(None)
+
+    def _sys_getsockname(self, task, thread, process, fd) -> None:
+        desc = process.get_fd(fd)
+        if isinstance(desc, ListenerSocket):
+            task.complete_call(desc.addr or desc.path)
+        elif isinstance(desc, SocketEndpoint):
+            task.complete_call(desc.local_addr or desc.local_path)
+        else:
+            raise SyscallError("ENOTSOCK", f"fd {fd}")
+
+    def _sys_socketpair(self, task, thread, process) -> None:
+        a, b = make_socketpair(self, process.node)
+        task.complete_call((process.alloc_fd(a), process.alloc_fd(b)))
+
+    def _sys_pipe(self, task, thread, process) -> None:
+        r, w = make_pipe(self, process.node)
+        task.complete_call((process.alloc_fd(r), process.alloc_fd(w)))
+
+    # ------------------------------------------------------------------
+    # Terminals
+    # ------------------------------------------------------------------
+    def _sys_openpty(self, task, thread, process) -> None:
+        pair = PtyPair(self, process.node)
+        mfd = process.alloc_fd(pair.master)
+        sfd = process.alloc_fd(pair.slave)
+        task.complete_call((mfd, sfd))
+
+    def _pty_of(self, process, fd) -> PtyPair:
+        desc = process.get_fd(fd)
+        pty = getattr(desc, "pty", None)
+        if pty is None:
+            raise SyscallError("ENOTTY", f"fd {fd}")
+        return pty
+
+    def _sys_ptsname(self, task, thread, process, fd) -> None:
+        task.complete_call(self._pty_of(process, fd).name)
+
+    def _sys_tcgetattr(self, task, thread, process, fd) -> None:
+        task.complete_call(dict(self._pty_of(process, fd).termios))
+
+    def _sys_tcsetattr(self, task, thread, process, fd, attrs) -> None:
+        self._pty_of(process, fd).termios.update(attrs)
+        task.complete_call(None)
+
+    def _sys_setsid(self, task, thread, process) -> None:
+        process.sid = process.pid
+        process.ctty = None
+        task.complete_call(process.sid)
+
+    def _sys_setctty(self, task, thread, process, fd) -> None:
+        pty = self._pty_of(process, fd)
+        process.ctty = pty
+        pty.session_sid = process.sid
+        task.complete_call(None)
+
+    # ------------------------------------------------------------------
+    # Syslog
+    # ------------------------------------------------------------------
+    def _syslog_state(self, process) -> dict:
+        if not hasattr(process, "syslog_state"):
+            process.syslog_state = {"open": False, "ident": "", "messages": 0}
+        return process.syslog_state
+
+    def _sys_openlog(self, task, thread, process, ident) -> None:
+        st = self._syslog_state(process)
+        st["open"] = True
+        st["ident"] = ident
+        task.complete_call(None)
+
+    def _sys_syslog(self, task, thread, process, message) -> None:
+        self._syslog_state(process)["messages"] += 1
+        task.complete_call(None)
+
+    def _sys_closelog(self, task, thread, process) -> None:
+        self._syslog_state(process)["open"] = False
+        task.complete_call(None)
+
+    # ------------------------------------------------------------------
+    # Remote spawn
+    # ------------------------------------------------------------------
+    def _sys_ssh(self, task, thread, process, host, program, argv, env) -> None:
+        self.node_state(host)  # raises EHOSTUNREACH for unknown hosts
+        epoch = task.epoch
+
+        def spawn_remote() -> None:
+            if task.done or task.epoch != epoch:
+                return
+            child = self.spawn_process(host, program, argv, env or {}, parent=None)
+            task.complete_call((host, child.pid))
+
+        self.engine.call_after(self.spec.os.ssh_connect_s, spawn_remote)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support (implementable with signals in a real kernel)
+    # ------------------------------------------------------------------
+    def _sys_suspend_threads(self, task, thread, process) -> None:
+        """Suspend every *user* thread of the calling process.
+
+        The calling thread (DMTCP's checkpoint manager) keeps running.
+        Cost: a quiesce constant plus one signal delivery per thread --
+        MTCP really does this with per-thread signals.
+        """
+        targets = [
+            t
+            for t in process.user_threads
+            if t is not thread and t.task is not None and not t.task.done
+        ]
+        cost = self.spec.os.suspend_quiesce_s + len(targets) * self.spec.os.signal_delivery_s
+
+        def do_suspend() -> None:
+            if task.done:
+                return
+            for t in targets:
+                sems = self._semaphores(process)
+                if t.task.state is not TaskState.FROZEN and not t.task.done:
+                    t.task.freeze()
+                # remove from any semaphore wait queue; the acquire
+                # re-issues at thaw
+                for sem in sems.values():
+                    sem.unpark(t.task)
+            task.complete_call(len(targets))
+
+        self.engine.call_after(cost, do_suspend)
+
+    def _sys_resume_threads(self, task, thread, process) -> None:
+        count = 0
+        for t in process.user_threads:
+            if t.task is not None and t.task.state is TaskState.FROZEN:
+                t.task.thaw(handler=self._dispatch)
+                count += 1
+        task.complete_call(count)

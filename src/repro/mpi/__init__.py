@@ -1,0 +1,27 @@
+"""A from-scratch MPI substrate over simulated TCP sockets.
+
+DMTCP never understands MPI (that is the point of the paper -- unlike
+BLCR-integrated MPI checkpointers, it works below the library).  To
+demonstrate that, this package implements real message passing the way
+2008 MPI stacks did: a process manager wires ranks up over PMI-style
+sockets, ranks keep a TCP mesh, and collectives are trees built from
+point-to-point sends.
+
+Two process managers are provided, matching the paper's Section 5.2
+test matrix:
+
+* :mod:`repro.mpi.mpich2` -- an MPD-style daemon ring (``mpdboot`` +
+  ``mpiexec``), where launch requests travel around the ring;
+* :mod:`repro.mpi.openmpi` -- an OpenRTE-style head-node process
+  (``orterun``) with per-node ``orted`` daemons spawned over ssh.
+
+Both spawn their daemons through ``ssh``/``exec``, which is exactly what
+DMTCP's wrappers intercept to pull the whole job under checkpoint
+control.
+"""
+
+from repro.mpi.api import Communicator, mpi_init
+from repro.mpi.mpich2 import register_mpich2
+from repro.mpi.openmpi import register_openmpi
+
+__all__ = ["Communicator", "mpi_init", "register_mpich2", "register_openmpi"]

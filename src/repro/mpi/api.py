@@ -1,0 +1,335 @@
+"""The MPI communicator: PMI wire-up, TCP mesh, pt2pt, tree collectives.
+
+A rank calls ``comm = yield from mpi_init(sys)``; the environment
+(``MPI_RANK``, ``MPI_SIZE``, ``MPI_PM_HOST``/``PORT``) is planted by the
+process manager that spawned it.  Wire-up mirrors PMI over TCP: each rank
+binds a listener, registers it with the manager, receives the full
+address table, then builds a full connection mesh (rank r dials every
+lower rank; higher ranks dial in).
+
+Messages are framed with a ``(tag, src, payload)`` header and an
+application-modelled wire size, so checkpoint drains see realistic
+in-flight NAS traffic.  Collectives are binomial trees / rings built
+strictly from the pt2pt layer, as in a real 2008-era MPI.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from repro.core import protocol as P
+from repro.errors import MpiError
+from repro.kernel.streams import FrameAssembler
+from repro.kernel.syscalls import Sys, connect_retry, recv_frame, send_frame
+
+#: Per-message header bytes charged on the wire.
+MSG_HEADER_BYTES = 64
+
+PM_REGISTER = "pmi-register"
+PM_TABLE = "pmi-table"
+PM_FINALIZE = "pmi-finalize"
+MESH_HELLO = "mesh-hello"
+
+
+class Communicator:
+    """MPI_COMM_WORLD for one rank."""
+
+    def __init__(self, sys: Sys, rank: int, size: int, pm_fd: int):
+        self._sys = sys
+        self.rank = rank
+        self.size = size
+        self._pm_fd = pm_fd
+        self._pm_asm = FrameAssembler()
+        self._conn: dict[int, int] = {}  # peer rank -> fd
+        self._asm: dict[int, FrameAssembler] = {}
+        self._pending: dict[int, list] = {}  # peer -> [(tag, obj, size)]
+        self._finalized = False
+        #: Collective sequence number: every collective call advances it
+        #: identically on all ranks (SPMD), giving each call a private
+        #: tag space -- the moral equivalent of MPI context ids.  Without
+        #: it, a fast rank's next reduction collides with a slow rank's
+        #: current one.
+        self._coll_seq = 0
+        #: rank -> (host, port) wire-up table (set by mpi_init).
+        self._table: dict = {}
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def send(self, dest: int, payload: Any = None, nbytes: int = 1024, tag: int = 0):
+        """Send ``payload`` to ``dest`` with a modelled size of ``nbytes``."""
+        if not 0 <= dest < self.size or dest == self.rank:
+            raise MpiError(f"rank {self.rank}: bad send dest {dest}")
+        fd = yield from self._conn_to(dest)
+        yield from send_frame(
+            self._sys, fd, (tag, self.rank, payload), nbytes + MSG_HEADER_BYTES
+        )
+
+    def recv(self, source: int, tag: int = 0):
+        """Receive the next ``tag`` message from ``source``; returns payload."""
+        if not 0 <= source < self.size or source == self.rank:
+            raise MpiError(f"rank {self.rank}: bad recv source {source}")
+        queue = self._pending.setdefault(source, [])
+        for i, (qtag, obj, _size) in enumerate(queue):
+            if qtag == tag:
+                queue.pop(i)
+                return obj
+        while source not in self._conn:  # lazy mode: peer dials in
+            yield from self._sys.sleep(0.002)
+        fd = self._conn[source]
+        asm = self._asm[source]
+        while True:
+            result = yield from recv_frame(self._sys, fd, asm)
+            if result is None:
+                raise MpiError(f"rank {self.rank}: peer {source} hung up")
+            (mtag, msrc, obj), size = result
+            if mtag == tag:
+                return obj
+            queue.append((mtag, obj, size))
+
+    def sendrecv(self, dest: int, payload: Any, nbytes: int, source: int, tag: int = 0):
+        """Exchange with a partner without deadlocking (lower rank sends
+        first; sizes below the channel capacity would allow both, but the
+        ordering is safe for any size)."""
+        if self.rank < dest:
+            yield from self.send(dest, payload, nbytes, tag)
+            return (yield from self.recv(source, tag))
+        incoming = yield from self.recv(source, tag)
+        yield from self.send(dest, payload, nbytes, tag)
+        return incoming
+
+    def _conn_to(self, dest: int):
+        """Connection to ``dest``, dialling on demand in lazy mode."""
+        fd = self._conn.get(dest)
+        if fd is not None:
+            return fd
+        host, port = self._table[dest]
+        fd = yield from self._sys.socket()
+        yield from connect_retry(self._sys, fd, host, port)
+        yield from self._sys.send(fd, P.CTL_FRAME_BYTES, data=(MESH_HELLO, self.rank))
+        self._conn[dest] = fd
+        self._asm[dest] = FrameAssembler()
+        return fd
+
+    # ------------------------------------------------------------------
+    # Collectives (binomial trees and rings over pt2pt)
+    # ------------------------------------------------------------------
+    def _coll_tag(self, base: int) -> int:
+        """Private tag block for one collective call (see _coll_seq)."""
+        self._coll_seq += 1
+        return base - 100_000 * self._coll_seq
+
+    def barrier(self, tag: int = -1):
+        """Dissemination barrier: ceil(log2 p) rounds of pairwise tokens."""
+        if self.size == 1:
+            return
+            yield  # pragma: no cover
+        tag = self._coll_tag(tag)
+        rounds = max(1, math.ceil(math.log2(self.size)))
+        for k in range(rounds):
+            dist = 1 << k
+            dest = (self.rank + dist) % self.size
+            source = (self.rank - dist) % self.size
+            yield from self.sendrecv(dest, None, 16, source, tag=tag - k * 7)
+
+    def bcast(self, payload: Any, root: int = 0, nbytes: int = 1024, tag: int = -100):
+        """Binomial-tree broadcast; returns the payload on every rank."""
+        if self.size == 1:
+            return payload
+            yield  # pragma: no cover
+        tag = self._coll_tag(tag)
+        vrank = (self.rank - root) % self.size
+        mask = 1
+        while mask < self.size:
+            if vrank & mask:
+                src = ((vrank - mask) + root) % self.size
+                payload = yield from self.recv(src, tag)
+                break
+            mask <<= 1
+        # forward down the tree from the level we received at
+        mask >>= 1
+        while mask > 0:
+            if vrank + mask < self.size:
+                dst = ((vrank + mask) + root) % self.size
+                yield from self.send(dst, payload, nbytes, tag)
+            mask >>= 1
+        return payload
+
+    def reduce(self, value: Any, op=None, root: int = 0, nbytes: int = 1024, tag: int = -200):
+        """Binomial-tree reduction; result is returned at ``root`` only."""
+        op = op or (lambda a, b: a + b)
+        if self.size == 1:
+            return value
+            yield  # pragma: no cover
+        tag = self._coll_tag(tag)
+        vrank = (self.rank - root) % self.size
+        mask = 1
+        while mask < self.size:
+            if vrank & mask:
+                dst = ((vrank & ~mask) + root) % self.size
+                yield from self.send(dst, value, nbytes, tag)
+                return None
+            partner = vrank | mask
+            if partner < self.size:
+                other = yield from self.recv((partner + root) % self.size, tag)
+                value = op(value, other)
+            mask <<= 1
+        return value
+
+    def allreduce(self, value: Any, op=None, nbytes: int = 1024):
+        """Reduce to rank 0, then broadcast; every rank gets the result."""
+        reduced = yield from self.reduce(value, op, root=0, nbytes=nbytes)
+        return (yield from self.bcast(reduced, root=0, nbytes=nbytes, tag=-300))
+
+    def gather(self, value: Any, root: int = 0, nbytes: int = 1024, tag: int = -400):
+        """Linear gather; returns the list at root, None elsewhere."""
+        tag = self._coll_tag(tag)
+        if self.rank != root:
+            yield from self.send(root, value, nbytes, tag)
+            return None
+        out = [None] * self.size
+        out[self.rank] = value
+        for src in range(self.size):
+            if src != root:
+                out[src] = yield from self.recv(src, tag)
+        return out
+
+    def scatter(self, values: Optional[list], root: int = 0, nbytes: int = 1024, tag: int = -500):
+        """Distribute one value per rank from ``root``."""
+        tag = self._coll_tag(tag)
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise MpiError("scatter: root must supply size values")
+            for dst in range(self.size):
+                if dst != root:
+                    yield from self.send(dst, values[dst], nbytes, tag)
+            return values[root]
+        return (yield from self.recv(root, tag))
+
+    def allgather(self, value: Any, nbytes: int = 1024, tag: int = -600):
+        """Ring allgather: p-1 steps, each passing one block along."""
+        out = [None] * self.size
+        out[self.rank] = value
+        if self.size == 1:
+            return out
+            yield  # pragma: no cover
+        tag = self._coll_tag(tag)
+        right = (self.rank + 1) % self.size
+        left = (self.rank - 1) % self.size
+        block = (self.rank, value)
+        for _ in range(self.size - 1):
+            block = yield from self.sendrecv(right, block, nbytes, left, tag)
+            out[block[0]] = block[1]
+        return out
+
+    def alltoall(self, values: list, nbytes_each: int = 1024, tag: int = -700):
+        """Pairwise-exchange alltoall: p-1 rounds of XOR-partner sendrecv.
+
+        Requires a power-of-two communicator (as the NAS kernels that use
+        alltoall do); the mutual pairing makes every round deadlock-free
+        for any message size.
+        """
+        if len(values) != self.size:
+            raise MpiError("alltoall: need one value per rank")
+        if self.size & (self.size - 1):
+            raise MpiError("alltoall: power-of-two communicator required")
+        tag = self._coll_tag(tag)
+        out = [None] * self.size
+        out[self.rank] = values[self.rank]
+        for step in range(1, self.size):
+            partner = self.rank ^ step
+            out[partner] = yield from self.sendrecv(
+                partner, values[partner], nbytes_each, partner, tag=tag - step
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    def finalize(self):
+        """Synchronize, then tell the process manager this rank is done."""
+        if self._finalized:
+            return
+            yield  # pragma: no cover
+        yield from self.barrier(tag=-9000)
+        yield from send_frame(
+            self._sys, self._pm_fd, P.msg(PM_FINALIZE, rank=self.rank), P.CTL_FRAME_BYTES
+        )
+        self._finalized = True
+
+
+def mpi_init(sys: Sys):
+    """Wire this rank into MPI_COMM_WORLD (see module docstring)."""
+    rank = int((yield from sys.getenv("MPI_RANK")))
+    size = int((yield from sys.getenv("MPI_SIZE")))
+    pm_host = yield from sys.getenv("MPI_PM_HOST")
+    pm_port = int((yield from sys.getenv("MPI_PM_PORT")))
+
+    # listener for mesh connections from higher ranks
+    lfd = yield from sys.socket()
+    addr = yield from sys.bind(lfd, 0)
+    yield from sys.listen(lfd, backlog=max(size, 8))
+
+    pm_fd = yield from sys.socket()
+    yield from connect_retry(sys, pm_fd, pm_host, pm_port)
+    my_host = yield from sys.gethostname()
+    yield from send_frame(
+        sys,
+        pm_fd,
+        P.msg(PM_REGISTER, rank=rank, host=my_host, port=addr[1]),
+        P.CTL_FRAME_BYTES,
+    )
+    comm = Communicator(sys, rank, size, pm_fd)
+    table_msg = yield from recv_frame(sys, pm_fd, comm._pm_asm)
+    if table_msg is None or table_msg[0]["kind"] != PM_TABLE:
+        raise MpiError(f"rank {rank}: bad wire-up reply {table_msg}")
+    table = table_msg[0]["table"]
+    comm._table = table
+
+    lazy = (yield from sys.getenv("MPI_LAZY_CONNECT", "0")) == "1"
+    if lazy:
+        # Master-worker jobs (TOP-C/ParGeant4) keep a star topology:
+        # connections are dialled on first send, incoming dials accepted
+        # forever.  Safe when the first message on every pair flows in a
+        # fixed direction (master sends first), which TOP-C guarantees.
+        def lazy_acceptor(asys):
+            while True:
+                fd = yield from asys.accept(lfd)
+                chunk = yield from asys.recv(fd)
+                tag, peer_rank = chunk.data
+                assert tag == MESH_HELLO
+                if peer_rank not in comm._conn:
+                    comm._conn[peer_rank] = fd
+                    comm._asm[peer_rank] = FrameAssembler()
+
+        yield from sys.thread_create(lazy_acceptor)
+        return comm
+
+    # default: full mesh, as eager 2008 MPI stacks establish under load --
+    # accept from higher ranks in a helper thread while dialling lower ones
+    expected_in = size - 1 - rank
+    accept_state = {"n": 0}
+
+    def acceptor(asys):
+        while accept_state["n"] < expected_in:
+            fd = yield from asys.accept(lfd)
+            chunk = yield from asys.recv(fd)
+            tag, peer_rank = chunk.data
+            assert tag == MESH_HELLO
+            comm._conn[peer_rank] = fd
+            comm._asm[peer_rank] = FrameAssembler()
+            accept_state["n"] += 1
+
+    tid = None
+    if expected_in > 0:
+        tid = yield from sys.thread_create(acceptor)
+    for dest in range(rank):
+        host, port = table[str(dest)] if isinstance(table, dict) and str(dest) in table else table[dest]
+        fd = yield from sys.socket()
+        yield from connect_retry(sys, fd, host, port)
+        yield from sys.send(fd, P.CTL_FRAME_BYTES, data=(MESH_HELLO, rank))
+        comm._conn[dest] = fd
+        comm._asm[dest] = FrameAssembler()
+    if tid is not None:
+        yield from sys.thread_join(tid)
+    yield from sys.close(lfd)
+    return comm

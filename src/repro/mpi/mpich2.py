@@ -1,0 +1,190 @@
+"""MPICH2-style process management: the MPD daemon ring.
+
+``mpdboot -n N`` spawns one ``mpd`` daemon per node -- the first locally,
+the rest over ssh (which is how DMTCP's ssh wrapper pulls them under
+checkpoint control, Section 3).  The daemons form a TCP ring; launch
+requests from ``mpiexec`` travel around the ring until they reach the
+target host's daemon, which forks the MPI rank.  The ring sockets and
+daemon processes are deliberately part of the checkpoint ("the MPI
+resource management processes are also checkpointed").
+"""
+
+from __future__ import annotations
+
+from repro.core import protocol as P
+from repro.kernel.process import ProgramSpec, RegionSpec
+from repro.kernel.streams import FrameAssembler
+from repro.kernel.syscalls import Sys, connect_retry, recv_frame, send_frame
+
+from repro.mpi.pm import serve_pmi
+
+MPD_PORT = 6946
+
+_MPD_SPEC = ProgramSpec(
+    "mpd",
+    regions=(
+        RegionSpec("code", 512 * 1024, "code"),
+        RegionSpec("heap", 1536 * 1024, "text"),
+    ),
+)
+_LAUNCHER_SPEC = ProgramSpec(
+    "mpi_launcher",
+    regions=(
+        RegionSpec("code", 384 * 1024, "code"),
+        RegionSpec("heap", 768 * 1024, "text"),
+    ),
+)
+
+
+def mpd_main(sys: Sys, argv):
+    """One MPD daemon: ring membership + launch forwarding."""
+    my_host = yield from sys.gethostname()
+    state = {
+        "ring": [],  # ordered hostnames once the ring is set
+        "prev_fd": None,  # our outgoing ring link (towards the previous mpd)
+        "prev_asm": FrameAssembler(),
+    }
+
+    lfd = yield from sys.socket()
+    yield from sys.bind(lfd, MPD_PORT)
+    yield from sys.listen(lfd, backlog=64)
+
+    prev_host = yield from sys.getenv("MPD_PREV", "")
+    if prev_host:
+        yield from _dial_prev(sys, state, prev_host)
+
+    while True:
+        cfd = yield from sys.accept(lfd)
+        yield from sys.thread_create(lambda hsys, f=cfd: _mpd_conn(hsys, f, state, my_host))
+
+
+def _dial_prev(sys: Sys, state: dict, prev_host: str):
+    fd = yield from sys.socket()
+    yield from connect_retry(sys, fd, prev_host, MPD_PORT)
+    state["prev_fd"] = fd
+
+
+def _forward(sys: Sys, state: dict, message: dict):
+    """Pass a ring message one hop along (towards our predecessor)."""
+    yield from send_frame(sys, state["prev_fd"], message, P.CTL_FRAME_BYTES)
+
+
+def _mpd_conn(sys: Sys, fd: int, state: dict, my_host: str):
+    """Serve one incoming connection (ring neighbour, mpdboot, mpiexec)."""
+    asm = FrameAssembler()
+    while True:
+        result = yield from recv_frame(sys, fd, asm)
+        if result is None:
+            return
+        message = result[0]
+        kind = message["kind"]
+        if kind == "close-ring":
+            # mpdboot tells the first mpd to close the cycle
+            yield from _dial_prev(sys, state, message["last_host"])
+            yield from send_frame(sys, fd, P.msg("ok"), P.CTL_FRAME_BYTES)
+        elif kind == "ring-set":
+            state["ring"] = list(message["hosts"])
+            if message.get("hops", 0) > 0:
+                fwd = dict(message)
+                fwd["hops"] = message["hops"] - 1
+                yield from _forward(sys, state, fwd)
+        elif kind == "ring-info":
+            yield from send_frame(
+                sys, fd, P.msg("ring", hosts=list(state["ring"])), P.CTL_FRAME_BYTES
+            )
+        elif kind == "launch":
+            if message["host"] == my_host:
+                yield from sys.spawn(message["program"], message["argv"], message["env"])
+            else:
+                yield from _forward(sys, state, message)
+        elif kind == "mpdallexit":
+            # administrative shutdown (not used during checkpoints)
+            if message.get("hops", 0) > 0:
+                fwd = dict(message)
+                fwd["hops"] = message["hops"] - 1
+                yield from _forward(sys, state, fwd)
+            yield from sys.exit(0)
+
+
+def mpdboot_main(sys: Sys, argv):
+    """``mpdboot -n N``: build an N-node MPD ring (Section 3's example)."""
+    n = int(argv[argv.index("-n") + 1])
+    hosts = (yield from sys.nodes())[:n]
+    my_host = yield from sys.gethostname()
+    if hosts[0] != my_host:
+        hosts = [my_host] + [h for h in hosts if h != my_host][: n - 1]
+    # first daemon locally, the rest via ssh (intercepted by DMTCP);
+    # the console's environment is exported to every daemon
+    base_env = yield from sys.environ()
+    yield from sys.spawn("mpd", ["mpd"], {**base_env, "MPD_PREV": ""})
+    for i in range(1, len(hosts)):
+        yield from sys.ssh(
+            hosts[i], "mpd", ["mpd"], {**base_env, "MPD_PREV": hosts[i - 1]}
+        )
+    # close the ring and circulate membership
+    fd = yield from sys.socket()
+    yield from connect_retry(sys, fd, hosts[0], MPD_PORT)
+    yield from send_frame(
+        sys, fd, P.msg("close-ring", last_host=hosts[-1]), P.CTL_FRAME_BYTES
+    )
+    asm = FrameAssembler()
+    yield from recv_frame(sys, fd, asm)  # ok
+    yield from send_frame(
+        sys, fd, P.msg("ring-set", hosts=hosts, hops=len(hosts) - 1), P.CTL_FRAME_BYTES
+    )
+    yield from sys.close(fd)
+
+
+def mpiexec_main(sys: Sys, argv):
+    """``mpiexec -n P prog args...``: launch P ranks over the MPD ring."""
+    n = int(argv[argv.index("-n") + 1])
+    prog_index = argv.index("-n") + 2
+    program = argv[prog_index]
+    prog_args = argv[prog_index:]
+    my_host = yield from sys.gethostname()
+
+    # ask the local mpd for ring membership
+    mpd_fd = yield from sys.socket()
+    yield from connect_retry(sys, mpd_fd, my_host, MPD_PORT)
+    asm = FrameAssembler()
+    hosts: list = []
+    while not hosts:
+        yield from send_frame(sys, mpd_fd, P.msg("ring-info"), P.CTL_FRAME_BYTES)
+        reply = yield from recv_frame(sys, mpd_fd, asm)
+        hosts = reply[0]["hosts"]
+        if not hosts:
+            yield from sys.sleep(0.05)  # ring-set still circulating
+
+    # PMI wire-up service
+    pmi_lfd = yield from sys.socket()
+    pmi_addr = yield from sys.bind(pmi_lfd, 0)
+    yield from sys.listen(pmi_lfd, backlog=max(n, 8))
+    job_state: dict = {}
+    tid = yield from sys.thread_create(
+        lambda tsys: serve_pmi(tsys, pmi_lfd, n, job_state)
+    )
+
+    for rank in range(n):
+        target = hosts[rank % len(hosts)]
+        env = {
+            "MPI_RANK": str(rank),
+            "MPI_SIZE": str(n),
+            "MPI_PM_HOST": my_host,
+            "MPI_PM_PORT": str(pmi_addr[1]),
+        }
+        yield from send_frame(
+            sys,
+            mpd_fd,
+            P.msg("launch", host=target, program=program, argv=prog_args, env=env),
+            P.CTL_FRAME_BYTES,
+        )
+    yield from sys.thread_join(tid)  # returns when every rank finalized
+    yield from sys.close(pmi_lfd)
+    yield from sys.close(mpd_fd)
+
+
+def register_mpich2(world) -> None:
+    """Register mpd/mpdboot/mpiexec with a world's program table."""
+    world.register_program("mpd", mpd_main, _MPD_SPEC)
+    world.register_program("mpdboot", mpdboot_main, _LAUNCHER_SPEC)
+    world.register_program("mpiexec", mpiexec_main, _LAUNCHER_SPEC)

@@ -1,0 +1,133 @@
+"""OpenMPI-style process management: orterun + per-node orted daemons.
+
+``orterun -n P prog`` is the head-node process (OpenRTE's HNP): it
+spawns one ``orted`` daemon per node over ssh, the daemons dial back to
+the HNP, receive launch commands for their local ranks, and stay
+resident for the life of the job -- the "OpenMPI and its resource
+manager, OpenRTE" baseline of Figure 4.
+"""
+
+from __future__ import annotations
+
+from repro.core import protocol as P
+from repro.kernel.process import ProgramSpec, RegionSpec
+from repro.kernel.streams import FrameAssembler
+from repro.kernel.syscalls import Sys, connect_retry, recv_frame, send_frame
+
+from repro.mpi.pm import serve_pmi
+
+_ORTED_SPEC = ProgramSpec(
+    "orted",
+    regions=(
+        RegionSpec("code", 640 * 1024, "code"),
+        RegionSpec("heap", 1280 * 1024, "text"),
+    ),
+)
+_ORTERUN_SPEC = ProgramSpec(
+    "orterun",
+    regions=(
+        RegionSpec("code", 768 * 1024, "code"),
+        RegionSpec("heap", 1536 * 1024, "text"),
+    ),
+)
+
+
+def orted_main(sys: Sys, argv):
+    """Per-node daemon: dial the HNP, launch local ranks on command."""
+    hnp_host = yield from sys.getenv("ORTE_HNP_HOST")
+    hnp_port = int((yield from sys.getenv("ORTE_HNP_PORT")))
+    my_host = yield from sys.gethostname()
+    fd = yield from sys.socket()
+    yield from connect_retry(sys, fd, hnp_host, hnp_port)
+    yield from send_frame(sys, fd, P.msg("orted-up", host=my_host), P.CTL_FRAME_BYTES)
+    asm = FrameAssembler()
+    while True:
+        result = yield from recv_frame(sys, fd, asm)
+        if result is None:
+            return  # HNP went away; job over
+        message = result[0]
+        if message["kind"] == "launch-local":
+            for spec in message["specs"]:
+                yield from sys.spawn(spec["program"], spec["argv"], spec["env"])
+        elif message["kind"] == "orted-exit":
+            yield from sys.exit(0)
+
+
+def orterun_main(sys: Sys, argv):
+    """``orterun -n P prog args...`` (alias: mpirun)."""
+    n = int(argv[argv.index("-n") + 1])
+    prog_index = argv.index("-n") + 2
+    program = argv[prog_index]
+    prog_args = argv[prog_index:]
+    my_host = yield from sys.gethostname()
+    if "--hosts" in argv:
+        count = int(argv[argv.index("--hosts") + 1])
+        hosts = (yield from sys.nodes())[:count]
+    else:
+        hosts = yield from sys.nodes()
+
+    # HNP control listener for orted dial-back
+    hnp_lfd = yield from sys.socket()
+    hnp_addr = yield from sys.bind(hnp_lfd, 0)
+    yield from sys.listen(hnp_lfd, backlog=len(hosts) + 4)
+    # "-x all" behaviour: export the launcher's environment to the
+    # daemons (ssh does not propagate it by itself)
+    env = yield from sys.environ()
+    env.update({"ORTE_HNP_HOST": my_host, "ORTE_HNP_PORT": str(hnp_addr[1])})
+    for host in hosts:
+        if host == my_host:
+            yield from sys.spawn("orted", ["orted"], env)
+        else:
+            yield from sys.ssh(host, "orted", ["orted"], env)
+    orted_fds: dict[str, int] = {}
+    asms: dict[int, FrameAssembler] = {}
+    for _ in hosts:
+        fd = yield from sys.accept(hnp_lfd)
+        asm = FrameAssembler()
+        result = yield from recv_frame(sys, fd, asm)
+        orted_fds[result[0]["host"]] = fd
+        asms[fd] = asm
+
+    # PMI wire-up service
+    pmi_lfd = yield from sys.socket()
+    pmi_addr = yield from sys.bind(pmi_lfd, 0)
+    yield from sys.listen(pmi_lfd, backlog=max(n, 8))
+    job_state: dict = {}
+    tid = yield from sys.thread_create(
+        lambda tsys: serve_pmi(tsys, pmi_lfd, n, job_state)
+    )
+
+    # round-robin rank placement (paper: 4 per node at 4 cores/node)
+    per_host: dict[str, list[dict]] = {h: [] for h in hosts}
+    for rank in range(n):
+        target = hosts[rank % len(hosts)]
+        per_host[target].append(
+            {
+                "program": program,
+                "argv": prog_args,
+                "env": {
+                    "MPI_RANK": str(rank),
+                    "MPI_SIZE": str(n),
+                    "MPI_PM_HOST": my_host,
+                    "MPI_PM_PORT": str(pmi_addr[1]),
+                },
+            }
+        )
+    for host, specs in per_host.items():
+        if specs:
+            yield from send_frame(
+                sys, orted_fds[host], P.msg("launch-local", specs=specs), P.CTL_FRAME_BYTES
+            )
+    yield from sys.thread_join(tid)  # all ranks finalized
+    for host, fd in orted_fds.items():
+        yield from send_frame(sys, fd, P.msg("orted-exit"), P.CTL_FRAME_BYTES)
+        yield from sys.close(fd)
+    yield from sys.close(pmi_lfd)
+    yield from sys.close(hnp_lfd)
+
+
+def register_openmpi(world) -> None:
+    """Register orted/orterun (and the mpirun alias) with a world."""
+    world.register_program("orted", orted_main, _ORTED_SPEC)
+    world.register_program("orterun", orterun_main, _ORTERUN_SPEC)
+    world.register_program("mpirun", orterun_main, _ORTERUN_SPEC)

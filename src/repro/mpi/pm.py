@@ -1,0 +1,48 @@
+"""PMI-style wire-up service shared by both process managers."""
+
+from __future__ import annotations
+
+from repro.core import protocol as P
+from repro.kernel.streams import FrameAssembler
+from repro.kernel.syscalls import Sys, recv_frame, send_frame
+
+from repro.mpi.api import PM_FINALIZE, PM_REGISTER, PM_TABLE
+
+
+def serve_pmi(sys: Sys, lfd: int, nranks: int, job_state: dict):
+    """Accept rank registrations, broadcast the address table, and count
+    finalizations.  Sets ``job_state["done"] = True`` when every rank has
+    called finalize.  Run as a thread of the manager process.
+    """
+    table: dict[int, tuple] = {}
+    fds: dict[int, int] = {}
+    finalized = {"n": 0}
+
+    def handler(hsys, fd):
+        asm = FrameAssembler()
+        while True:
+            result = yield from recv_frame(hsys, fd, asm)
+            if result is None:
+                return
+            message = result[0]
+            if message["kind"] == PM_REGISTER:
+                rank = message["rank"]
+                table[rank] = (message["host"], message["port"])
+                fds[rank] = fd
+                if len(table) == nranks:
+                    for rfd in fds.values():
+                        yield from send_frame(
+                            hsys, rfd, P.msg(PM_TABLE, table=dict(table)), P.CTL_FRAME_BYTES
+                        )
+            elif message["kind"] == PM_FINALIZE:
+                finalized["n"] += 1
+                if finalized["n"] >= nranks:
+                    job_state["done"] = True
+                return
+
+    # each rank opens exactly one PMI connection
+    for _ in range(nranks):
+        fd = yield from sys.accept(lfd)
+        yield from sys.thread_create(lambda hsys, f=fd: handler(hsys, f))
+    while not job_state.get("done"):
+        yield from sys.sleep(0.01)

@@ -1,0 +1,22 @@
+"""Deterministic discrete-event simulation core.
+
+This package is the foundation everything else stands on: a virtual clock
+with an event heap (:mod:`repro.sim.engine`), cooperative tasks written as
+Python generators (:mod:`repro.sim.tasks`), and named, seeded random
+streams (:mod:`repro.sim.rng`) so that every experiment is reproducible
+bit-for-bit.
+"""
+
+from repro.sim.engine import Engine, Event
+from repro.sim.rng import RandomStreams
+from repro.sim.tasks import Future, Scheduler, Task, Timeout
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Future",
+    "RandomStreams",
+    "Scheduler",
+    "Task",
+    "Timeout",
+]

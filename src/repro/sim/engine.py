@@ -1,0 +1,155 @@
+"""The discrete-event engine: a virtual clock and an ordered event heap.
+
+The engine knows nothing about processes or checkpoints; it schedules
+callbacks at virtual times.  Determinism is guaranteed by breaking ties in
+(time, insertion sequence) order, so two runs with the same seed replay the
+same interleaving.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A cancellable scheduled callback.
+
+    Cancellation is O(1): the heap entry stays in place but is skipped when
+    popped.  ``fired`` and ``cancelled`` are exposed for diagnostics.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Mark the event dead; it is skipped when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"<Event t={self.time:.9f} seq={self.seq} {state} {getattr(self.fn, '__name__', self.fn)}>"
+
+
+class Engine:
+    """Virtual clock plus event heap.
+
+    Typical use::
+
+        eng = Engine()
+        eng.call_after(1.5, hello)
+        eng.run()          # runs until the heap is empty
+        assert eng.now == 1.5
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        #: Total events executed; useful for complexity assertions in tests.
+        self.events_fired: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute virtual ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self.now}"
+            )
+        ev = Event(time, next(self._seq), fn, args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.call_at(self.now + delay, fn, *args)
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at the current time, after pending events."""
+        return self.call_at(self.now, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Virtual time of the next live event, or None if idle."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False if the heap was empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        ev = heapq.heappop(self._heap)
+        self.now = ev.time
+        ev.fired = True
+        self.events_fired += 1
+        ev.fn(*ev.args)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
+        """Run events until the heap drains or ``until`` is passed.
+
+        ``max_events`` is a runaway-loop backstop; hitting it raises
+        :class:`SimulationError` rather than hanging the test suite.
+        """
+        if self._running:
+            raise SimulationError("Engine.run() is not reentrant")
+        self._running = True
+        try:
+            fired = 0
+            while True:
+                self._drop_cancelled()
+                if not self._heap:
+                    return
+                if until is not None and self._heap[0].time > until:
+                    self.now = until
+                    return
+                self.step()
+                fired += 1
+                if fired >= max_events:
+                    raise SimulationError(
+                        f"engine exceeded {max_events} events; likely a livelock"
+                    )
+        finally:
+            self._running = False
+
+    def run_until(self, predicate: Callable[[], bool], max_events: int = 50_000_000) -> None:
+        """Run until ``predicate()`` becomes true.  Raises if the heap drains first."""
+        fired = 0
+        while not predicate():
+            if not self.step():
+                raise SimulationError("event heap drained before predicate held")
+            fired += 1
+            if fired >= max_events:
+                raise SimulationError(
+                    f"engine exceeded {max_events} events waiting for predicate"
+                )

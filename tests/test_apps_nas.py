@@ -1,0 +1,186 @@
+"""Workload tests: NAS minis compute correctly, run under both MPI
+stacks, and keep their verification invariants across checkpoint/restart."""
+
+import pytest
+
+from repro.apps import register_all_apps
+from repro.cluster import build_cluster
+from repro.core.launch import DmtcpComputation
+
+
+@pytest.fixture()
+def world():
+    w = build_cluster(n_nodes=4, seed=31)
+    register_all_apps(w)
+    return w
+
+
+def no_failures(world):
+    assert not world.scheduler.failures, [
+        (t.name, e) for t, e in world.scheduler.failures
+    ]
+
+
+def run_job(world, program, n, iters=3, host="node00"):
+    proc = world.spawn_process(
+        host,
+        "orterun",
+        ["orterun", "-n", str(n), program, str(iters)],
+        {"NAS_SCALE": "0.01"},
+    )
+    world.engine.run_until(lambda: not proc.alive)
+    assert proc.exit_code == 0, f"{program} failed"
+    return proc
+
+
+@pytest.mark.parametrize(
+    "program,n",
+    [
+        ("nas_ep", 4),
+        ("nas_cg", 4),
+        ("nas_mg", 4),
+        ("nas_is", 4),
+        ("nas_lu", 4),
+        ("nas_sp", 4),
+        ("nas_bt", 4),
+    ],
+)
+def test_nas_benchmarks_verify(world, program, n):
+    """Each mini-benchmark runs its internal verification (assertions in
+    the kernels) to completion."""
+    run_job(world, program, n)
+    no_failures(world)
+
+
+def test_nas_ep_deterministic_across_runs():
+    """Same seed, same cluster: identical traffic and timing."""
+    times = []
+    for _ in range(2):
+        w = build_cluster(n_nodes=2, seed=77)
+        register_all_apps(w)
+        proc = w.spawn_process(
+            "node00", "orterun", ["orterun", "-n", "4", "nas_ep", "2"], {"NAS_SCALE": "0.01"}
+        )
+        w.engine.run_until(lambda: not proc.alive)
+        times.append(w.engine.now)
+    assert times[0] == times[1]
+
+
+def test_nas_sp_requires_square_rank_count(world):
+    proc = world.spawn_process(
+        "node00", "orterun", ["orterun", "-n", "3", "nas_sp", "1"], {"NAS_SCALE": "0.01"}
+    )
+    world.engine.run(until=200.0)
+    # ranks die with ValueError -> recorded as failures
+    assert world.scheduler.failures
+    world.scheduler.failures.clear()
+
+
+def test_nas_lu_survives_checkpoint_restart_mid_pipeline(world):
+    """Checkpoint+kill+restart in the middle of LU's wavefront pipeline;
+    the verification assertions inside the kernel must still pass."""
+    comp = DmtcpComputation(world)
+    job = comp.launch(
+        "node00",
+        "orterun",
+        ["orterun", "-n", "4", "nas_lu", "600"],
+        env={"NAS_SCALE": "0.01"},
+    )
+    world.engine.run(until=1.0)
+    assert job.alive
+    comp.checkpoint(kill=True)
+    comp.restart()
+    world.engine.run(until=world.engine.now + 200.0)
+    no_failures(world)
+
+
+def test_pargeant4_completes_and_merges(world):
+    proc = world.spawn_process(
+        "node00", "orterun", ["orterun", "-n", "4", "pargeant4", "12", "0.01"]
+    )
+    world.engine.run_until(lambda: not proc.alive)
+    assert proc.exit_code == 0
+    no_failures(world)
+
+
+def test_ipython_demo_runs_and_checkpoints(world):
+    comp = DmtcpComputation(world)
+    comp.launch("node00", "ipython_demo", ["ipython_demo", "4"])
+    world.engine.run(until=2.0)
+    outcome = comp.checkpoint()
+    # launcher + controller + 4 engines
+    assert len(outcome.records) == 6
+    world.engine.run(until=world.engine.now + 2.0)
+    no_failures(world)
+
+
+def test_memhog_allocates_requested_total(world):
+    proc = world.spawn_process(
+        "node00",
+        "orterun",
+        ["orterun", "-n", "4", "memhog"],
+        {"MEMHOG_MB": "16"},
+    )
+    world.engine.run(until=5.0)
+    ranks = [p for p in world.live_processes() if p.program == "memhog"]
+    assert len(ranks) == 4
+    for r in ranks:
+        assert r.address_space.total_bytes >= 16 * 2**20
+    no_failures(world)
+
+
+def test_runcms_footprint_and_library_count(world):
+    from repro.kernel.procfs import count_libraries
+
+    proc = world.spawn_process("node00", "runcms", ["runcms", "2.0"])
+    world.engine.run(until=10.0)
+    assert proc.env.get("RUNCMS_READY") == "1"
+    assert count_libraries(proc) == 540
+    assert proc.address_space.total_bytes > 650 * 2**20
+    no_failures(world)
+
+
+def test_shell_app_profiles_all_registered(world):
+    from repro.apps.profiles import APP_PROFILES
+    from repro.apps.shell_apps import program_for
+
+    assert len(APP_PROFILES) == 21  # the paper's "over 20 applications"
+    for name in APP_PROFILES:
+        assert program_for(name) in world.programs
+
+
+def test_shell_app_with_helpers_checkpoints(world):
+    from repro.apps.shell_apps import program_for
+
+    comp = DmtcpComputation(world)
+    comp.launch("node00", program_for("tightvnc+twm"))
+    world.engine.run(until=3.0)
+    outcome = comp.checkpoint()
+    assert len(outcome.records) == 3  # Xvnc + twm + client
+    no_failures(world)
+
+
+def test_shell_app_restart_keeps_interactive_loop(world):
+    from repro.apps.shell_apps import program_for
+
+    comp = DmtcpComputation(world)
+    proc = comp.launch("node00", program_for("python"))
+    world.engine.run(until=2.0)
+    comp.checkpoint(kill=True)
+    comp.restart(placement={"node00": "node02"})
+    world.engine.run(until=world.engine.now + 5.0)
+    restored = [
+        p for p in world.live_processes() if p.program == program_for("python")
+    ]
+    assert len(restored) == 1
+    assert restored[0].node.hostname == "node02"
+    no_failures(world)
+
+
+def test_chombo_completes(world):
+    proc = world.spawn_process(
+        "node00", "orterun", ["orterun", "-n", "4", "chombo", "5"]
+    )
+    world.engine.run_until(lambda: not proc.alive)
+    assert proc.exit_code == 0
+    no_failures(world)

@@ -1,0 +1,141 @@
+"""Baseline comparator tests: DejaVu overhead model, BLCR's single-node
+limitation, and the head-to-head the paper could only cite."""
+
+import pytest
+
+from repro.apps import register_all_apps
+from repro.baselines import BlcrCheckpointer, DejavuComputation
+from repro.cluster import build_cluster
+from repro.errors import CheckpointError
+from repro.kernel.syscalls import connect_retry
+
+
+def make_world(seed=41, n=4):
+    w = build_cluster(n_nodes=n, seed=seed)
+    register_all_apps(w)
+    return w
+
+
+def run_chombo(world, dejavu: bool, iters=10, ranks=4):
+    """Run the Chombo-like stencil, optionally under DejaVu; returns
+    (wallclock, computation)."""
+    comp = None
+    env = {}
+    if dejavu:
+        comp = DejavuComputation(world)
+        env = {"DEJAVU_CKPT": "1"}
+    t0 = world.engine.now
+    proc = world.spawn_process(
+        "node00", "orterun", ["orterun", "-n", str(ranks), "chombo", str(iters)], env
+    )
+    world.engine.run_until(lambda: not proc.alive)
+    assert proc.exit_code == 0
+    return world.engine.now - t0, comp
+
+
+def test_dejavu_runtime_overhead_in_the_papers_range():
+    """Section 2: DejaVu ~45% overhead on Chombo vs DMTCP ~0."""
+    plain_world = make_world(seed=41)
+    plain_time, _ = run_chombo(plain_world, dejavu=False)
+
+    dv_world = make_world(seed=41)
+    dv_time, comp = run_chombo(dv_world, dejavu=True)
+
+    overhead = dv_time / plain_time - 1.0
+    assert 0.15 < overhead < 0.9, f"overhead {overhead:.2%}"
+    assert comp.total_overhead_seconds() > 0
+    stats = list(comp.stats_by_pid.values())
+    assert any(s.faults > 0 for s in stats)
+    assert any(s.logged_bytes > 0 for s in stats)
+
+
+def test_dejavu_incremental_checkpoint_writes_only_dirty():
+    world = make_world(seed=43)
+    comp = DejavuComputation(world)
+
+    def app(sys, argv):
+        rid = yield from sys.sbrk(32 * 2**20, "numeric")
+        while True:
+            yield from sys.sleep(0.5)
+            yield from sys.mem_touch(rid, 0.1)
+
+    world.register_program("dirtyapp", app)
+    comp.launch("node00", "dirtyapp")
+    world.engine.run(until=1.0)
+    comp.checkpoint()  # full: everything dirty at creation
+    world.engine.run(until=world.engine.now + 1.0)
+    comp.checkpoint()
+    proc = comp.processes[0]
+    ckpts = proc.user_state["dejavu_stats"].checkpoints
+    assert len(ckpts) == 2
+    full_bytes, incr_bytes = ckpts[0][1], ckpts[1][1]
+    assert incr_bytes < full_bytes / 2  # incremental saves most of the write
+
+
+def test_dejavu_checkpoint_resumes_app():
+    world = make_world(seed=44)
+    comp = DejavuComputation(world)
+    ticks = []
+
+    def app(sys, argv):
+        for i in range(30):
+            yield from sys.sleep(0.1)
+            ticks.append(i)
+
+    world.register_program("ticker", app)
+    comp.launch("node00", "ticker")
+    world.engine.run(until=1.0)
+    comp.checkpoint()
+    world.engine.run(until=world.engine.now + 30.0)
+    assert ticks == list(range(30))
+    assert not world.scheduler.failures
+
+
+def test_blcr_checkpoints_single_node_tree():
+    world = make_world(seed=45)
+
+    def child(sys):
+        yield from sys.sleep(100.0)
+
+    def app(sys, argv):
+        yield from sys.sbrk(8 * 2**20, "numeric")
+        yield from sys.fork(child)
+        yield from sys.sleep(100.0)
+
+    world.register_program("tree", app)
+    root = world.spawn_process("node00", "tree")
+    world.engine.run(until=1.0)
+    blcr = BlcrCheckpointer(world)
+    duration = blcr.checkpoint_tree(root)
+    assert duration > 0
+    world.engine.run(until=world.engine.now + 1.0)
+    assert root.alive  # resumed
+
+
+def test_blcr_refuses_cross_machine_sockets():
+    """The gap DMTCP fills: kernel-level checkpointing cannot handle a
+    socket to another machine (Section 2)."""
+    world = make_world(seed=46)
+    state = {}
+
+    def server(sys, argv):
+        lfd = yield from sys.socket()
+        yield from sys.bind(lfd, 5000)
+        yield from sys.listen(lfd)
+        fd = yield from sys.accept(lfd)
+        yield from sys.sleep(100.0)
+
+    def client(sys, argv):
+        fd = yield from sys.socket()
+        yield from connect_retry(sys, fd, "node00", 5000)
+        yield from sys.send(fd, 100)
+        yield from sys.sleep(100.0)
+
+    world.register_program("server", server)
+    world.register_program("client", client)
+    world.spawn_process("node00", "server")
+    cl = world.spawn_process("node01", "client")
+    world.engine.run(until=1.0)
+    blcr = BlcrCheckpointer(world)
+    with pytest.raises(CheckpointError, match="cross-machine"):
+        blcr.checkpoint_tree(cl)

@@ -1,0 +1,197 @@
+"""Unit tests for DMTCP core data structures: compression model,
+connection table, pid virtualization, image format, stats."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CpuSpec
+from repro.core import compression
+from repro.core.connection import ConnectionId, ConnectionInfo, ConnectionTable
+from repro.core.imagefile import RestartPlan, conn_key
+from repro.core.pidvirt import PidTable
+from repro.core.stats import CheckpointRecord, StageClock, aggregate_stages
+from repro.kernel.memory import PROFILES
+
+
+# ----------------------------------------------------------------------
+# Compression
+# ----------------------------------------------------------------------
+
+def test_measured_ratios_are_cached_and_sane():
+    r1 = compression.measured_ratio("zero")
+    r2 = compression.measured_ratio("zero")
+    assert r1 == r2
+    assert r1 < 0.01  # zeros collapse
+    assert compression.measured_ratio("random") > 0.99
+    assert 0.05 < compression.measured_ratio("text") < 0.3
+    assert 0.3 < compression.measured_ratio("code") < 0.7
+    assert 0.2 < compression.measured_ratio("numeric") < 0.6
+    assert compression.measured_ratio("sparse") < 0.25
+
+
+def test_speed_factor_ordering():
+    # more compressible => faster gzip; random is the 1x baseline
+    assert compression.speed_factor("zero") > compression.speed_factor("text")
+    assert compression.speed_factor("text") > compression.speed_factor("numeric")
+    assert compression.speed_factor("random") == pytest.approx(1.0, abs=0.01)
+
+
+def test_estimate_disabled_is_identity_with_memcpy_cost():
+    cpu = CpuSpec()
+    est = compression.estimate([(1000, "random")], cpu, enabled=False)
+    assert est.output_bytes == est.input_bytes == 1000
+    assert est.compress_seconds == pytest.approx(1000 / cpu.memory_bps)
+
+
+def test_estimate_mixes_profiles():
+    cpu = CpuSpec()
+    est = compression.estimate([(2**20, "zero"), (2**20, "random")], cpu)
+    assert est.input_bytes == 2 * 2**20
+    # output dominated by the random half
+    assert 0.45 < est.ratio < 0.55
+    # decompress faster than compress
+    assert est.decompress_seconds < est.compress_seconds
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=2**24), min_size=1, max_size=6),
+    profiles=st.lists(st.sampled_from(sorted(PROFILES)), min_size=1, max_size=6),
+)
+def test_property_estimate_never_inflates_much(sizes, profiles):
+    regions = list(zip(sizes, profiles))
+    est = compression.estimate(regions, CpuSpec())
+    assert est.output_bytes <= est.input_bytes * 1.01 + 16
+    assert est.compress_seconds >= 0
+
+
+# ----------------------------------------------------------------------
+# Connection table
+# ----------------------------------------------------------------------
+
+def _cid(n=0):
+    return ConnectionId("hostA", 42, 1.5, n)
+
+
+def test_conn_key_roundtrip_format():
+    key = conn_key(_cid(3))
+    assert key.startswith("hostA:42:")
+    assert key.endswith(":3")
+
+
+def test_connection_table_dup_shares_info():
+    table = ConnectionTable()
+    info = ConnectionInfo(conn_id=_cid(), domain="inet", role="connect")
+    table.add(3, info)
+    table.dup(3, 7)
+    assert table.get(7) is info
+    table.drop(3)
+    assert table.get(7) is info  # dup survives original close
+
+
+def test_connection_table_fork_copy_shares_infos_not_dict():
+    table = ConnectionTable()
+    info = ConnectionInfo(conn_id=None, domain="inet", role="")
+    table.add(3, info)
+    child = table.fork_copy()
+    child.add(9, ConnectionInfo(conn_id=_cid(), domain="pair", role="pair-a"))
+    assert table.get(9) is None  # dict diverged
+    # but a conn-id learned later via the shared info is visible to both
+    info.conn_id = _cid(5)
+    assert child.get(3).conn_id == _cid(5)
+
+
+def test_conn_numbers_monotonic():
+    table = ConnectionTable()
+    assert [table.new_conn_no() for _ in range(3)] == [0, 1, 2]
+    child = table.fork_copy()
+    assert child.new_conn_no() == 3
+
+
+# ----------------------------------------------------------------------
+# Pid virtualization
+# ----------------------------------------------------------------------
+
+def test_pidtable_identity_initially():
+    t = PidTable(100, 100)
+    assert t.real(100) == 100
+    assert t.virtual(100) == 100
+    assert t.real(999) == 999  # unknown pids pass through
+
+
+def test_pidtable_rebase_after_restart():
+    t = PidTable(100, 100)
+    t.record(101, 101)  # a child
+    t.rebase_self(555)
+    assert t.real(100) == 555
+    assert t.virtual(555) == 100
+    assert not t.knows_vpid(555) or t.virtual(555) == 100
+
+
+def test_pidtable_fork_copy():
+    parent = PidTable(100, 100)
+    parent.record(101, 101)
+    child = parent.fork_copy(102, 102)
+    assert child.self_vpid == 102
+    assert child.real(100) == 100  # knows its ancestors
+    assert child.real(101) == 101
+    assert parent.real(102) == 102  # unknown in parent until recorded -> passthrough
+
+
+def test_pidtable_forget():
+    t = PidTable(100, 100)
+    t.record(101, 201)
+    assert t.real(101) == 201
+    t.forget(101)
+    assert t.real(101) == 101  # passthrough again
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(1, 10**6), st.integers(1, 10**6)), max_size=20))
+def test_property_pidtable_translation_consistent(pairs):
+    t = PidTable(1, 1)
+    for v, r in pairs:
+        t.record(v, r)
+    for v, r in t.v2r.items():
+        # translating a vpid to real and back gives a vpid mapping to the
+        # same real pid (later records may alias earlier ones)
+        assert t.v2r[t.virtual(r)] == t.real(v) == r or t.real(v) == r
+
+
+# ----------------------------------------------------------------------
+# Stats and plans
+# ----------------------------------------------------------------------
+
+def test_stage_clock_accumulates():
+    clock = StageClock(t_start=0.0)
+    clock.begin(1.0)
+    clock.end(3.0, "write")
+    clock.begin(3.0)
+    clock.end(3.5, "write")
+    assert clock.stages["write"] == pytest.approx(2.5)
+    assert clock.total == pytest.approx(2.5)
+
+
+def test_aggregate_stages_means():
+    recs = [
+        CheckpointRecord(1, "h", 1, "p", {"write": 1.0, "drain": 0.2}, 10, 5, True),
+        CheckpointRecord(1, "h", 2, "p", {"write": 3.0, "drain": 0.4}, 10, 5, True),
+    ]
+    agg = aggregate_stages(recs, ["write", "drain", "missing"])
+    assert agg["write"] == pytest.approx(2.0)
+    assert agg["drain"] == pytest.approx(0.3)
+    assert agg["missing"] == 0.0
+
+
+def test_restart_plan_script_rendering():
+    plan = RestartPlan(
+        ckpt_id=7,
+        coordinator_host="node00",
+        coordinator_port=7779,
+        images_by_host={"node01": ["/tmp/dmtcp/a.dmtcp", "/tmp/dmtcp/b.dmtcp"]},
+    )
+    script = plan.render_script()
+    assert "DMTCP_COORD_HOST=node00" in script
+    assert "ssh node01 dmtcp_restart /tmp/dmtcp/a.dmtcp /tmp/dmtcp/b.dmtcp &" in script
+    assert plan.total_processes == 2

@@ -1,0 +1,92 @@
+"""Tests for the real-file workspace export (cluster -> laptop)."""
+
+import pathlib
+
+import pytest
+
+from repro.apps import register_all_apps
+from repro.cluster import build_cluster
+from repro.config import DESKTOP_2008
+from repro.core.export import (
+    export_workspace,
+    import_workspace,
+    read_workspace,
+)
+from repro.core.launch import DmtcpComputation
+from repro.errors import CheckpointError, RestartError
+
+
+def _checkpoint_notebook(tmp_path, steps=40, run_until=2.0):
+    world = build_cluster(n_nodes=2, seed=51)
+    register_all_apps(world)
+    comp = DmtcpComputation(world)
+    comp.launch("node00", "notebook", ["notebook", str(steps)])
+    world.engine.run(until=run_until)
+    outcome = comp.checkpoint(kill=True)
+    path = outcome.plan.images_by_host["node00"][0]
+    ns = world.node_state("node00")
+    image = ns.mounts.resolve(path).namespace.lookup(path).payload
+    return world, image
+
+
+def test_export_and_reimport_roundtrip(tmp_path):
+    world, image = _checkpoint_notebook(tmp_path)
+    assert image.app_state is not None
+    done_at_export = image.app_state["next_step"]
+    assert 0 < done_at_export < 40
+
+    real = tmp_path / "workspace.dmtcp-ws"
+    export_workspace(world, image, str(real))
+    assert real.exists() and real.stat().st_size > 0
+
+    ws = read_workspace(str(real))
+    assert ws.program == "notebook"
+    assert len(ws.app_state["results"]) == done_at_export
+
+    # revive in a completely fresh simulation
+    laptop = build_cluster(n_nodes=1, spec=DESKTOP_2008, seed=52)
+    register_all_apps(laptop)
+    proc = import_workspace(laptop, str(real))
+    laptop.engine.run_until(lambda: proc.user_state.get("notebook_done"))
+    workspace = proc.user_state["workspace"]
+    assert sorted(workspace.results) == list(range(40))
+    # cluster-computed values carried over bit-for-bit
+    for step in range(done_at_export):
+        assert workspace.results[step] == ws.app_state["results"][step]
+
+
+def test_export_rejects_images_without_app_state(tmp_path):
+    world = build_cluster(n_nodes=1, seed=53)
+
+    def plain(sys, argv):
+        for _ in range(100):
+            yield from sys.sleep(0.1)
+
+    world.register_program("plain", plain)
+    comp = DmtcpComputation(world)
+    comp.launch("node00", "plain")
+    world.engine.run(until=1.0)
+    outcome = comp.checkpoint(kill=True)
+    path = outcome.plan.images_by_host["node00"][0]
+    image = world.node_state("node00").mounts.resolve(path).namespace.lookup(path).payload
+    with pytest.raises(CheckpointError, match="no serializable app state"):
+        export_workspace(world, image, str(tmp_path / "x"))
+
+
+def test_import_rejects_garbage_file(tmp_path):
+    bad = tmp_path / "bad.ws"
+    import pickle
+
+    bad.write_bytes(pickle.dumps({"not": "a workspace"}))
+    world = build_cluster(n_nodes=1, seed=54)
+    with pytest.raises(RestartError):
+        import_workspace(world, str(bad))
+
+
+def test_import_requires_registered_program(tmp_path):
+    world, image = _checkpoint_notebook(tmp_path)
+    real = tmp_path / "ws"
+    export_workspace(world, image, str(real))
+    bare = build_cluster(n_nodes=1, seed=55)  # notebook not registered
+    with pytest.raises(RestartError, match="not registered"):
+        import_workspace(bare, str(real))

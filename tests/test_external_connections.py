@@ -1,0 +1,132 @@
+"""External (non-DMTCP) peers: the TightVNC/vncviewer pattern.
+
+Section 5.1: "Between checkpoints, clients can connect with
+(uncheckpointed) vncviewers to interact with the graphical applications.
+Using this technique, we can checkpoint graphical applications without
+the need to checkpoint interactions with graphics hardware."
+"""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.errors import SyscallError
+from repro.core import aware
+from repro.core.launch import DmtcpComputation
+from repro.kernel.syscalls import connect_retry
+
+
+@pytest.fixture()
+def world():
+    return build_cluster(n_nodes=2, seed=111)
+
+
+def make_vnc_server(world, served):
+    """A TightVNC-ish server: framebuffer state + external viewer port."""
+
+    def vnc_server(sys, argv):
+        lfd = yield from sys.socket()
+        yield from sys.bind(lfd, 5900)
+        yield from sys.listen(lfd)
+        aware.dmtcp_mark_external(sys, lfd)
+        framebuffer = {"frames": 0}
+
+        def viewer_session(tsys, fd):
+            try:
+                while True:
+                    chunk = yield from tsys.recv(fd)
+                    if chunk is None:
+                        return  # viewer hung up
+                    framebuffer["frames"] += 1
+                    served.append(chunk.data)
+                    yield from tsys.send(fd, 2048, data=("frame", framebuffer["frames"]))
+            except SyscallError:
+                return  # connection torn down by a checkpoint
+
+        while True:
+            fd = yield from sys.accept(lfd)
+            yield from sys.thread_create(viewer_session, fd)
+
+    world.register_program("vnc_server", vnc_server)
+
+
+def make_viewer(world, shown):
+    """An *uncheckpointed* vncviewer: reconnects when disconnected."""
+
+    def viewer(sys, argv):
+        while len(shown) < 30:
+            fd = yield from sys.socket()
+            try:
+                yield from connect_retry(sys, fd, "node00", 5900, attempts=200)
+            except Exception:
+                return
+            try:
+                while len(shown) < 30:
+                    yield from sys.send(fd, 512, data=("key", len(shown)))
+                    chunk = yield from sys.recv(fd)
+                    if chunk is None:
+                        break  # server checkpointed: reconnect
+                    shown.append(chunk.data)
+                    yield from sys.sleep(0.1)
+            except SyscallError:
+                pass  # disconnected mid-send: reconnect
+            try:
+                yield from sys.close(fd)
+            except SyscallError:
+                pass
+
+    world.register_program("viewer", viewer)
+
+
+def test_external_viewer_survives_checkpoint_via_reconnect(world):
+    served, shown = [], []
+    make_vnc_server(world, served)
+    make_viewer(world, shown)
+    comp = DmtcpComputation(world)
+    comp.launch("node00", "vnc_server")
+    # the viewer runs OUTSIDE DMTCP
+    world.spawn_process("node01", "viewer")
+    world.engine.run(until=1.0)
+    assert shown, "viewer never got a frame"
+    n_before = len(shown)
+
+    outcome = comp.checkpoint()  # viewer is forcibly disconnected
+    assert len(outcome.records) == 1  # only the server is checkpointed
+    world.engine.run_until(lambda: len(shown) >= 30)
+    # the viewer reconnected and kept going; the server never crashed
+    assert len(shown) == 30
+    assert not world.scheduler.failures
+
+
+def test_external_connection_closed_not_checkpointed(world):
+    served, shown = [], []
+    make_vnc_server(world, served)
+    make_viewer(world, shown)
+    comp = DmtcpComputation(world)
+    server = comp.launch("node00", "vnc_server")
+    world.spawn_process("node01", "viewer")
+    world.engine.run(until=1.0)
+    outcome = comp.checkpoint()
+    path = outcome.plan.images_by_host["node00"][0]
+    image = world.node_state("node00").mounts.resolve(path).namespace.lookup(path).payload
+    # the image holds the (external) listener but no viewer connection
+    kinds = [(f.kind, f.bound_port) for f in image.fds]
+    assert ("listener", 5900) in kinds
+    assert all(f.kind != "socket" for f in image.fds)
+    assert not world.scheduler.failures
+
+
+def test_external_server_restartable(world):
+    """Kill + restart the server; the external viewer reconnects to the
+    re-bound port and the session continues."""
+    served, shown = [], []
+    make_vnc_server(world, served)
+    make_viewer(world, shown)
+    comp = DmtcpComputation(world)
+    comp.launch("node00", "vnc_server")
+    world.spawn_process("node01", "viewer")
+    world.engine.run(until=1.0)
+    comp.checkpoint(kill=True)
+    comp.restart()  # same node: the original port 5900 is free again
+    world.engine.run_until(lambda: len(shown) >= 30)
+    assert len(shown) == 30
+    assert not world.scheduler.failures

@@ -1,0 +1,124 @@
+"""Failure injection: the system degrades loudly, not silently."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.core.launch import DmtcpComputation
+from repro.errors import RestartError, SimulationError
+
+
+@pytest.fixture()
+def world():
+    return build_cluster(n_nodes=2, seed=101)
+
+
+def idle(world):
+    def main(sys, argv):
+        while True:
+            yield from sys.sleep(0.25)
+
+    world.register_program("idleapp", main)
+
+
+def test_concurrent_checkpoint_requests_second_gets_busy(world):
+    idle(world)
+    comp = DmtcpComputation(world)
+    comp.launch("node00", "idleapp")
+    world.engine.run(until=1.0)
+    h1 = comp.request_checkpoint()
+    h2 = comp.request_checkpoint()  # lands while the first is running
+    world.engine.run_until(lambda: h1["outcome"] is not None)
+    world.engine.run(until=world.engine.now + 2.0)
+    # exactly one checkpoint happened; the second client was refused
+    assert len(comp.state.history) == 1
+    assert h2["outcome"] is None
+
+
+def test_restart_without_checkpoint_raises(world):
+    idle(world)
+    comp = DmtcpComputation(world)
+    comp.launch("node00", "idleapp")
+    world.engine.run(until=1.0)
+    with pytest.raises(RestartError, match="no checkpoint"):
+        comp.restart()
+
+
+def test_restart_with_deleted_image_fails_loudly(world):
+    idle(world)
+    comp = DmtcpComputation(world)
+    comp.launch("node00", "idleapp")
+    world.engine.run(until=1.0)
+    outcome = comp.checkpoint(kill=True)
+    path = outcome.plan.images_by_host["node00"][0]
+    ns = world.node_state("node00")
+    ns.mounts.resolve(path).namespace.unlink(path)
+    with pytest.raises((RestartError, SimulationError)):
+        comp.restart()
+    # the restart process died with the ENOENT recorded
+    assert world.scheduler.failures
+    world.scheduler.failures.clear()
+
+
+def test_app_crash_mid_checkpoint_is_survivable_overall(world):
+    """A process dying right before the checkpoint is simply absent from
+    it; the others still checkpoint."""
+    idle(world)
+
+    def shortlived(sys, argv):
+        yield from sys.sleep(0.4)
+
+    world.register_program("short", shortlived)
+    comp = DmtcpComputation(world)
+    comp.launch("node00", "idleapp")
+    comp.launch("node01", "short")
+    world.engine.run(until=1.0)  # short has exited; coordinator saw EOF
+    assert comp.state.member_count == 1
+    outcome = comp.checkpoint()
+    assert len(outcome.records) == 1
+    assert not world.scheduler.failures
+
+
+def test_checkpoint_of_empty_computation_never_completes(world):
+    """No members: the quorum is zero and the command reports nothing --
+    the request simply cannot finish (matches real dmtcp_command hanging
+    without a computation)."""
+    comp = DmtcpComputation(world)
+    handle = comp.request_checkpoint()
+    world.engine.run(until=5.0)
+    assert handle["outcome"] is None
+
+
+def test_member_exits_between_broadcast_and_suspend_barrier(world):
+    """A process that finishes its work right as a checkpoint begins must
+    not wedge the barrier: the coordinator shrinks the quorum and the
+    remaining members checkpoint normally (found by hypothesis on the
+    output-invariant property)."""
+    idle(world)
+
+    def sprinter(sys, argv):
+        yield from sys.sleep(0.993)  # exits ~at the checkpoint broadcast
+
+    world.register_program("sprinter", sprinter)
+    comp = DmtcpComputation(world)
+    comp.launch("node00", "idleapp")
+    comp.launch("node01", "sprinter")
+    world.engine.run(until=0.99)
+    assert comp.state.member_count == 2
+    outcome = comp.checkpoint()  # sprinter dies mid-protocol
+    assert len(outcome.records) in (1, 2)
+    assert any(r.program == "idleapp" for r in outcome.records)
+    world.engine.run(until=world.engine.now + 1.0)
+    assert not world.scheduler.failures
+
+
+def test_kill_mode_leaves_no_live_members(world):
+    idle(world)
+    comp = DmtcpComputation(world)
+    comp.launch("node00", "idleapp")
+    comp.launch("node01", "idleapp")
+    world.engine.run(until=1.0)
+    comp.checkpoint(kill=True)
+    world.engine.run(until=world.engine.now + 1.0)
+    assert comp.state.member_count == 0
+    live = [p for p in world.live_processes() if p.program == "idleapp"]
+    assert live == []

@@ -1,0 +1,118 @@
+"""Tests for nodes, network transfers, and topology building."""
+
+import pytest
+
+from repro.config import CpuSpec, HardwareSpec, NetworkSpec
+from repro.hardware import build_machine
+from repro.sim import Engine, RandomStreams
+
+
+def make_machine(n=2, bw=100.0, latency=0.0, per_msg=0.0, cores=2, with_san=False):
+    spec = HardwareSpec(
+        cpu=CpuSpec(cores=cores, memory_bps=1000.0),
+        # small_transfer_bytes=0: these tests probe the fluid queue model
+        # itself, so even tiny transfers must go through the NICs
+        network=NetworkSpec(
+            bandwidth_bps=bw, latency_s=latency, per_message_s=per_msg,
+            small_transfer_bytes=0,
+        ),
+    )
+    eng = Engine()
+    machine = build_machine(eng, spec, n, RandomStreams(1), with_san=with_san)
+    return eng, machine
+
+
+def test_topology_hostnames_and_lookup():
+    _, machine = make_machine(3)
+    assert machine.hostnames == ["node00", "node01", "node02"]
+    assert machine.node("node01").hostname == "node01"
+
+
+def test_transfer_time_is_bandwidth_bound():
+    eng, machine = make_machine(2, bw=100.0, latency=0.5)
+    a, b = machine.nodes
+    t = {}
+    machine.network.transfer(a, b, 200.0).add_done(lambda: t.setdefault("d", eng.now))
+    eng.run()
+    assert t["d"] == pytest.approx(2.0 + 0.5)
+
+
+def test_loopback_bypasses_nic():
+    eng, machine = make_machine(1, bw=1.0)  # absurdly slow NIC
+    a = machine.nodes[0]
+    t = {}
+    machine.network.transfer(a, a, 500.0).add_done(lambda: t.setdefault("d", eng.now))
+    eng.run()
+    # memory_bps=1000 -> 0.5s despite the 1 B/s NIC
+    assert t["d"] == pytest.approx(0.5)
+
+
+def test_sender_tx_contention():
+    eng, machine = make_machine(3, bw=100.0)
+    a, b, c = machine.nodes
+    t = {}
+    machine.network.transfer(a, b, 100.0).add_done(lambda: t.setdefault("ab", eng.now))
+    machine.network.transfer(a, c, 100.0).add_done(lambda: t.setdefault("ac", eng.now))
+    eng.run()
+    # both share a's TX queue at 50 B/s
+    assert t["ab"] == pytest.approx(2.0)
+    assert t["ac"] == pytest.approx(2.0)
+
+
+def test_receiver_rx_contention():
+    eng, machine = make_machine(3, bw=100.0)
+    a, b, c = machine.nodes
+    t = {}
+    machine.network.transfer(a, c, 100.0).add_done(lambda: t.setdefault("ac", eng.now))
+    machine.network.transfer(b, c, 100.0).add_done(lambda: t.setdefault("bc", eng.now))
+    eng.run()
+    assert t["ac"] == pytest.approx(2.0)
+    assert t["bc"] == pytest.approx(2.0)
+
+
+def test_disjoint_pairs_do_not_contend():
+    eng, machine = make_machine(4, bw=100.0)
+    a, b, c, d = machine.nodes
+    t = {}
+    machine.network.transfer(a, b, 100.0).add_done(lambda: t.setdefault("ab", eng.now))
+    machine.network.transfer(c, d, 100.0).add_done(lambda: t.setdefault("cd", eng.now))
+    eng.run()
+    assert t["ab"] == pytest.approx(1.0)
+    assert t["cd"] == pytest.approx(1.0)
+
+
+def test_cpu_proportional_share():
+    eng, machine = make_machine(1, cores=2)
+    node = machine.nodes[0]
+    t = {}
+    for i in range(4):
+        node.cpu_burst(1.0).add_done(lambda i=i: t.setdefault(i, eng.now))
+    eng.run()
+    # 4 one-second bursts on 2 cores -> each runs at 0.5 core -> 2s
+    assert all(v == pytest.approx(2.0) for v in t.values())
+
+
+def test_cpu_single_thread_capped_at_one_core():
+    eng, machine = make_machine(1, cores=4)
+    node = machine.nodes[0]
+    t = {}
+    node.cpu_burst(2.0).add_done(lambda: t.setdefault("d", eng.now))
+    eng.run()
+    assert t["d"] == pytest.approx(2.0)  # not 0.5: one thread, one core
+
+
+def test_san_paths_assigned_by_topology():
+    _, machine = make_machine(12, with_san=True)
+    paths = [n.san_path for n in machine.nodes]
+    assert paths.count("fc") == 8
+    assert paths.count("nfs") == 4
+    assert all(n.san is machine.san for n in machine.nodes)
+
+
+def test_duplicate_hostname_rejected():
+    eng, machine = make_machine(1)
+    from repro.hardware.node import Node
+
+    dup = Node(eng, "node00", machine.spec, RandomStreams(2))
+    with pytest.raises(ValueError):
+        machine.network.attach(dup)

@@ -1,0 +1,77 @@
+"""Units for the harness: stats helpers, report rendering, drivers."""
+
+import pytest
+
+from repro.harness.experiment import mean_std
+from repro.harness.report import table
+
+
+def test_mean_std_basics():
+    mean, std = mean_std([2.0, 4.0, 6.0])
+    assert mean == pytest.approx(4.0)
+    assert std == pytest.approx((8 / 3) ** 0.5)
+
+
+def test_mean_std_single_value():
+    mean, std = mean_std([5.0])
+    assert mean == 5.0 and std == 0.0
+
+
+def test_table_renders_alignment_and_floats():
+    text = table(
+        ["name", "value"],
+        [("alpha", 0.123456), ("b", 1234.5), ("c", 0.0001234)],
+        title="T",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].startswith("name")
+    assert "0.123" in text
+    assert "1234.5" in text
+    assert "0.0001" in text
+    # all rows padded to the same rendered width
+    widths = {len(line) for line in lines[1:] if line.strip()}
+    assert max(widths) - min(widths) <= 1
+
+
+def test_table_empty_rows():
+    text = table(["a", "b"], [])
+    assert "a" in text and "b" in text
+
+
+def test_fig4_app_registry_covers_papers_twelve():
+    from repro.harness.fig4 import FIG4_APPS
+
+    assert len(FIG4_APPS) == 12
+    # the paper's square-number constraint is encoded
+    assert FIG4_APPS["NAS/BT[3]"].ranks_full == 36
+    assert FIG4_APPS["NAS/SP[3]"].ranks_full == 36
+    assert FIG4_APPS["NAS/MG[3]"].ranks_full == 128
+
+
+def test_fig3_driver_single_app_end_to_end():
+    from repro.harness.fig3 import run_fig3_app
+
+    row = run_fig3_app("sqlite", seed=3, warmup_s=1.0)
+    assert row.app == "sqlite"
+    assert 0 < row.checkpoint_s < 2
+    assert 0 < row.restart_s < row.checkpoint_s
+    assert 0 < row.stored_mb < row.image_mb
+
+
+def test_table1_paper_reference_shapes():
+    from repro.harness.table1 import PAPER_TABLE1A, PAPER_TABLE1B
+
+    # sanity: the hard-coded paper numbers match Table 1 of the PDF
+    assert PAPER_TABLE1A["compressed"]["write"] == pytest.approx(3.9403)
+    assert sum(PAPER_TABLE1A["uncompressed"].values()) == pytest.approx(0.7623, abs=1e-3)
+    assert PAPER_TABLE1B["compressed"]["restore_memory"] == pytest.approx(2.1167)
+
+
+def test_nas_footprint_totals_are_class_c_scale():
+    from repro.apps.nas import NAS_FOOTPRINTS
+
+    totals = {k: v.total_mb for k, v in NAS_FOOTPRINTS.items()}
+    assert totals["bt"] == max(totals.values())
+    assert totals["bt"] > 9000  # ~10 GB, Figure 4c's tallest bar
+    assert totals["ep"] == min(totals.values())

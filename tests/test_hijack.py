@@ -1,0 +1,177 @@
+"""Hijack-layer tests: exactly what the wrappers record and translate."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.core.launch import DmtcpComputation
+from repro.kernel.syscalls import connect_retry
+
+
+@pytest.fixture()
+def world():
+    return build_cluster(n_nodes=2, seed=91)
+
+
+def launch_probe(world, main, name="probe"):
+    world.register_program(name, main)
+    comp = DmtcpComputation(world)
+    proc = comp.launch("node00", name)
+    return comp, proc
+
+
+def runtime_of(proc):
+    return proc.user_state["dmtcp"]
+
+
+def test_socket_lifecycle_tracked(world):
+    done = {}
+
+    def main(sys, argv):
+        fd = yield from sys.socket()
+        rt = runtime_of_proc[0]
+        done["after_socket"] = rt.conn_table.get(fd) is not None
+        yield from sys.close(fd)
+        done["after_close"] = rt.conn_table.get(fd) is None
+        yield from sys.sleep(0.1)
+
+    runtime_of_proc = []
+    comp, proc = launch_probe(world, main)
+    runtime_of_proc.append(runtime_of(proc))
+    world.engine.run(until=1.0)
+    assert done == {"after_socket": True, "after_close": True}
+
+
+def test_dup2_shares_connection_info(world):
+    def main(sys, argv):
+        a, b = yield from sys.socketpair()
+        yield from sys.dup2(a, 20)
+        yield from sys.sleep(5.0)
+
+    comp, proc = launch_probe(world, main)
+    world.engine.run(until=1.0)
+    rt = runtime_of(proc)
+    infos = rt.conn_table
+    assert infos.get(20) is not None
+    # dup2 shares the very same info object
+    fd_a = next(fd for fd in infos.by_fd if infos.get(fd) is infos.get(20) and fd != 20)
+    assert infos.get(fd_a).conn_id == infos.get(20).conn_id
+
+
+def test_pipe_promoted_to_socketpair(world):
+    """Section 4.5: the pipe wrapper promotes pipes into sockets, so the
+    drain protocol can send data back through them."""
+    state = {}
+
+    def main(sys, argv):
+        r, w = yield from sys.pipe()
+        state["fds"] = (r, w)
+        # a promoted pipe is bidirectional at the kernel level
+        yield from sys.send(r, 3, data=b"rev")
+        chunk = yield from sys.recv(w)
+        state["reverse"] = chunk.data
+        yield from sys.sleep(5.0)
+
+    comp, proc = launch_probe(world, main)
+    world.engine.run(until=1.0)
+    assert state["reverse"] == b"rev"
+    rt = runtime_of(proc)
+    r, w = state["fds"]
+    assert rt.conn_table.get(r).domain == "pipe"
+    assert rt.conn_table.get(r).role == "pipe-r"
+    assert rt.conn_table.get(w).role == "pipe-w"
+    assert rt.conn_table.get(r).conn_id == rt.conn_table.get(w).conn_id
+
+
+def test_setsockopt_recorded_for_restart(world):
+    def main(sys, argv):
+        fd = yield from sys.socket()
+        yield from sys.setsockopt(fd, "SO_RCVBUF", 32768)
+        yield from sys.sleep(5.0)
+
+    comp, proc = launch_probe(world, main)
+    world.engine.run(until=1.0)
+    rt = runtime_of(proc)
+    fd = next(iter(rt.conn_table.by_fd))
+    assert rt.conn_table.get(fd).options == {"SO_RCVBUF": 32768}
+
+
+def test_getpid_returns_virtual_pid(world):
+    seen = {}
+
+    def main(sys, argv):
+        seen["vpid"] = yield from sys.getpid()
+        yield from sys.sleep(5.0)
+
+    comp, proc = launch_probe(world, main)
+    world.engine.run(until=1.0)
+    assert seen["vpid"] == runtime_of(proc).vpid == proc.pid
+
+
+def test_connect_handshake_gives_acceptor_connectors_id(world):
+    keys = {}
+
+    def server(sys, argv):
+        lfd = yield from sys.socket()
+        yield from sys.bind(lfd, 7700)
+        yield from sys.listen(lfd)
+        fd = yield from sys.accept(lfd)
+        keys["server_fd"] = fd
+        yield from sys.sleep(30.0)
+
+    def client(sys, argv):
+        fd = yield from sys.socket()
+        yield from connect_retry(sys, fd, "node00", 7700)
+        keys["client_fd"] = fd
+        yield from sys.sleep(30.0)
+
+    world.register_program("server", server)
+    world.register_program("client", client)
+    comp = DmtcpComputation(world)
+    s = comp.launch("node00", "server")
+    c = comp.launch("node01", "client")
+    world.engine.run(until=1.0)
+    s_info = runtime_of(s).conn_table.get(keys["server_fd"])
+    c_info = runtime_of(c).conn_table.get(keys["client_fd"])
+    assert s_info.conn_id == c_info.conn_id  # globally unique ID shared
+    assert s_info.role == "accept" and c_info.role == "connect"
+    # the ID names the connector
+    assert c_info.conn_id.pid == runtime_of(c).vpid
+
+
+def test_exec_stash_prunes_closed_fds(world):
+    fds = {}
+
+    def second(sys, argv):
+        yield from sys.sleep(30.0)
+
+    def first(sys, argv):
+        a, b = yield from sys.socketpair()
+        yield from sys.fcntl(b, "F_SETFD_CLOEXEC", 1)
+        fds["kept"], fds["dropped"] = a, b
+        yield from sys.execve("second", ["second"])
+
+    world.register_program("second", second)
+    comp, proc = launch_probe(world, first, name="first")
+    world.engine.run(until=2.0)
+    rt = proc.user_state["dmtcp"]
+    assert rt.conn_table.get(fds["kept"]) is not None
+    assert rt.conn_table.get(fds["dropped"]) is None  # cloexec pruned
+
+
+def test_ssh_wrapper_propagates_dmtcp_env(world):
+    child_env = {}
+
+    def remote(sys, argv):
+        child_env["hijack"] = yield from sys.getenv("DMTCP_HIJACK")
+        child_env["coord"] = yield from sys.getenv("DMTCP_COORD_HOST")
+        yield from sys.sleep(5.0)
+
+    def main(sys, argv):
+        yield from sys.ssh("node01", "remote", ["remote"], {"MY_VAR": "x"})
+        yield from sys.sleep(5.0)
+
+    world.register_program("remote", remote)
+    comp, proc = launch_probe(world, main)
+    world.engine.run(until=2.0)
+    assert child_env["hijack"] == "1"
+    assert child_env["coord"] == comp.coordinator_host

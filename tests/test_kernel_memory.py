@@ -1,0 +1,120 @@
+"""Memory subsystem and /proc rendering tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KernelError
+from repro.kernel.memory import PROFILES, AddressSpace, MemoryRegion
+
+
+def test_regions_page_aligned_and_disjoint():
+    space = AddressSpace(page_bytes=4096)
+    regions = [space.map_region(n, "heap", PROFILES["text"]) for n in (1, 4095, 4097)]
+    assert [r.size for r in regions] == [4096, 4096, 8192]
+    spans = sorted((r.start, r.end) for r in regions)
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 <= s2  # no overlap (guard pages between)
+
+
+def test_sbrk_accumulates_heap_regions():
+    space = AddressSpace()
+    space.sbrk(10_000, PROFILES["text"])
+    space.sbrk(20_000, PROFILES["numeric"])
+    heaps = [r for r in space.regions if r.kind == "heap"]
+    assert len(heaps) == 2
+    assert space.total_bytes >= 30_000
+
+
+def test_sbrk_rejects_nonpositive():
+    with pytest.raises(KernelError):
+        AddressSpace().sbrk(0, PROFILES["zero"])
+
+
+def test_unmap_removes_and_errors_on_unknown():
+    space = AddressSpace()
+    region = space.map_region(4096, "anon", PROFILES["zero"])
+    space.unmap(region.region_id)
+    assert space.total_bytes == 0
+    with pytest.raises(KernelError):
+        space.unmap(region.region_id)
+
+
+def test_fork_copy_private_regions_diverge_shared_alias():
+    space = AddressSpace()
+    private = space.map_region(4096, "heap", PROFILES["text"])
+    shared = space.map_region(4096, "shm", PROFILES["zero"], shared=True)
+    child = space.fork_copy()
+    child_private = next(r for r in child.regions if r.kind == "heap")
+    child_shared = next(r for r in child.regions if r.kind == "shm")
+    assert child_private is not private  # copied
+    assert child_shared is shared  # aliased
+
+
+def test_dirty_tracking_touch_and_clean():
+    region = MemoryRegion(0, 4096, "heap", PROFILES["text"])
+    assert region.dirty_fraction == 1.0  # born dirty
+    region.clean()
+    assert region.dirty_fraction == 0.0
+    region.touch(0.3)
+    region.touch(0.3)
+    assert region.dirty_fraction == pytest.approx(0.6)
+    region.touch(0.9)
+    assert region.dirty_fraction == 1.0  # clamped
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    profile=st.sampled_from(sorted(PROFILES)),
+    n=st.integers(min_value=1, max_value=100_000),
+)
+def test_property_samplers_exact_length(profile, n):
+    rng = np.random.default_rng(0)
+    assert len(PROFILES[profile].sample(n, rng)) == n
+
+
+def test_samplers_deterministic_given_rng_state():
+    a = PROFILES["code"].sample(8192, np.random.default_rng(5))
+    b = PROFILES["code"].sample(8192, np.random.default_rng(5))
+    assert a == b
+
+
+# ----------------------------------------------------------------------
+# /proc rendering
+# ----------------------------------------------------------------------
+
+def test_render_maps_and_fd_listing():
+    from repro.cluster import build_cluster
+    from repro.kernel.procfs import count_libraries, render_fds, render_maps
+
+    world = build_cluster(n_nodes=1, seed=95)
+    out = {}
+
+    def main(sys, argv):
+        yield from sys.mmap(1 << 20, "numeric")
+        a, b = yield from sys.socketpair()
+        fd = yield from sys.open("/tmp/x", "w")
+        yield from sys.sleep(10.0)
+
+    world.register_program("m", main)
+    proc = world.spawn_process("node00", "m")
+    world.engine.run(until=1.0)
+    maps = render_maps(proc)
+    assert len(maps.splitlines()) == len(proc.address_space.regions)
+    assert all("-" in line for line in maps.splitlines())
+    fds = render_fds(proc)
+    assert "SocketEndpoint" in fds and "OpenFile" in fds
+    assert count_libraries(proc) == 0
+
+
+def test_count_libraries_matches_runcms_spec():
+    from repro.apps import register_all_apps
+    from repro.cluster import build_cluster
+    from repro.kernel.procfs import count_libraries
+
+    world = build_cluster(n_nodes=1, seed=96)
+    register_all_apps(world)
+    proc = world.spawn_process("node00", "runcms", ["runcms", "0.1"])
+    world.engine.run(until=1.0)
+    assert count_libraries(proc) == 540

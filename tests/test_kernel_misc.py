@@ -1,0 +1,162 @@
+"""Odds-and-ends kernel semantics that the bigger suites route around."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.errors import SimulationError
+from repro.sim import Engine
+
+
+@pytest.fixture()
+def world():
+    return build_cluster(n_nodes=2, seed=131)
+
+
+def run_collect(world, main):
+    out = {}
+
+    def wrapper(sys, argv):
+        yield from main(sys, out)
+
+    world.register_program("misc", wrapper)
+    proc = world.spawn_process("node00", "misc")
+    world.engine.run()
+    assert not world.scheduler.failures, world.scheduler.failures
+    return out, proc
+
+
+def test_engine_run_is_not_reentrant():
+    eng = Engine()
+
+    def recurse():
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    eng.call_at(1.0, recurse)
+    eng.run()
+
+
+def test_exit_from_worker_thread_kills_whole_process(world):
+    order = []
+
+    def main(sys, out):
+        def worker(tsys):
+            yield from tsys.sleep(0.5)
+            yield from tsys.exit(3)
+
+        yield from sys.thread_create(worker)
+        try:
+            yield from sys.sleep(100.0)
+            order.append("main survived")  # pragma: no cover
+        finally:
+            pass
+
+    world.register_program("exiter", lambda s, a: main(s, {}))
+    proc = world.spawn_process("node00", "exiter")
+    world.engine.run()
+    assert proc.exit_code == 3
+    assert order == []
+
+
+def test_getenv_default_and_environ_snapshot(world):
+    def main(sys, out):
+        out["missing"] = yield from sys.getenv("NOPE", "fallback")
+        yield from sys.setenv("A", "1")
+        env = yield from sys.environ()
+        out["has_a"] = env.get("A")
+        env["A"] = "tampered"  # a copy: kernel state unaffected
+        out["still"] = yield from sys.getenv("A")
+
+    out, _ = run_collect(world, main)
+    assert out == {"missing": "fallback", "has_a": "1", "still": "1"}
+
+
+def test_dup2_same_fd_is_noop(world):
+    def main(sys, out):
+        fd = yield from sys.open("/tmp/a", "w")
+        yield from sys.dup2(fd, fd)
+        yield from sys.write(fd, 10)
+        out["ok"] = True
+
+    out, _ = run_collect(world, main)
+    assert out["ok"]
+
+
+def test_lseek_and_partial_reads(world):
+    def main(sys, out):
+        fd = yield from sys.open("/tmp/b", "w")
+        yield from sys.write(fd, 100)
+        yield from sys.close(fd)
+        fd = yield from sys.open("/tmp/b", "r")
+        n1, _ = yield from sys.read(fd, 30)
+        yield from sys.lseek(fd, 90)
+        n2, _ = yield from sys.read(fd, 30)  # only 10 left
+        out["reads"] = (n1, n2)
+
+    out, _ = run_collect(world, main)
+    assert out["reads"] == (30, 10)
+
+
+def test_fsync_blocks_until_durable(world):
+    def main(sys, out):
+        fd = yield from sys.open("/tmp/c", "w")
+        yield from sys.write(fd, 50 * 2**20)
+        t0 = yield from sys.time()
+        yield from sys.fsync(fd)
+        out["fsync_s"] = (yield from sys.time()) - t0
+
+    out, _ = run_collect(world, main)
+    # 50 MB drains to a 100 MB/s platter: at least a few hundred ms
+    assert out["fsync_s"] > 0.2
+
+
+def test_mem_touch_tracks_dirty_fraction(world):
+    def main(sys, out):
+        rid = yield from sys.mmap(1 << 20, "numeric")
+        proc_region = None
+        yield from sys.mem_touch(rid, 0.25)
+        out["rid"] = rid
+
+    out, proc = run_collect(world, main)
+    region = proc.address_space.find(out["rid"])
+    assert region.dirty_fraction == 1.0  # born dirty; touch can't exceed 1
+    region.clean()
+    region.touch(0.25)
+    assert region.dirty_fraction == pytest.approx(0.25)
+
+
+def test_listdir_prefix(world):
+    def main(sys, out):
+        for name in ("x/1", "x/2", "y/3"):
+            fd = yield from sys.open(f"/data/{name}", "w")
+            yield from sys.close(fd)
+        out["x"] = yield from sys.listdir("/data/x")
+
+    out, _ = run_collect(world, main)
+    assert out["x"] == ["/data/x/1", "/data/x/2"]
+
+
+def test_cloexec_closes_at_exec_only(world):
+    state = {}
+
+    def second(sys, argv):
+        state["fds_after"] = sorted(
+            fd for fd in state["proc"].fds
+        )
+        yield from sys.sleep(0.01)
+
+    def first(sys, argv):
+        keep = yield from sys.open("/tmp/keep", "w")
+        drop = yield from sys.open("/tmp/drop", "w")
+        yield from sys.fcntl(drop, "F_SETFD_CLOEXEC", 1)
+        state["keep"], state["drop"] = keep, drop
+        yield from sys.execve("second", ["second"])
+
+    world.register_program("first", first)
+    world.register_program("second", second)
+    proc = world.spawn_process("node00", "first")
+    state["proc"] = proc
+    world.engine.run()
+    assert state["keep"] in state["fds_after"]
+    assert state["drop"] not in state["fds_after"]
+    assert not world.scheduler.failures

@@ -1,0 +1,91 @@
+"""Distributed-coordinator mode (Section 6 future work, implemented):
+per-node barrier relays combine arrivals before they reach the root."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.core.launch import DmtcpComputation
+
+
+@pytest.fixture()
+def world():
+    return build_cluster(n_nodes=4, seed=81)
+
+
+def no_failures(world):
+    assert not world.scheduler.failures, [
+        (t.name, e) for t, e in world.scheduler.failures
+    ]
+
+
+def counter(world):
+    log = []
+
+    def main(sys, argv):
+        for i in range(200):
+            yield from sys.sleep(0.1)
+            log.append(i)
+
+    world.register_program("counter", main)
+    return log
+
+
+def test_relay_mode_checkpoints_correctly(world):
+    log = counter(world)
+    comp = DmtcpComputation(world, relay=True)
+    for i in range(4):
+        for _ in range(3):
+            comp.launch(f"node{i:02d}", "counter")
+    world.engine.run(until=1.0)
+    outcome = comp.checkpoint()
+    assert len(outcome.records) == 12
+    n = len(log)
+    world.engine.run(until=world.engine.now + 2.0)
+    assert len(log) > n  # resumed
+    no_failures(world)
+
+
+def test_relay_mode_reduces_root_barrier_messages(world):
+    """The combining tree delivers O(nodes), not O(processes), barrier
+    messages to the root."""
+    counter(world)
+    central = DmtcpComputation(world, coordinator_host="node00", port=7401,
+                               ckpt_dir="/tmp/c1", relay=False)
+    for i in range(4):
+        for _ in range(3):
+            central.launch(f"node{i:02d}", "counter")
+    world.engine.run(until=1.0)
+    central.checkpoint()
+    central_msgs = central.state.barrier_messages
+
+    world2 = build_cluster(n_nodes=4, seed=82)
+    counter(world2)
+    relayed = DmtcpComputation(world2, relay=True)
+    for i in range(4):
+        for _ in range(3):
+            relayed.launch(f"node{i:02d}", "counter")
+    world2.engine.run(until=1.0)
+    relayed.checkpoint()
+    relay_msgs = relayed.state.barrier_messages
+
+    # 12 processes x 6 barriers centrally vs ~4 relays x 6 barriers
+    assert central_msgs >= 12 * 5
+    assert relay_msgs <= central_msgs / 2, (relay_msgs, central_msgs)
+    assert not world2.scheduler.failures
+
+
+def test_relay_mode_kill_and_restart(world):
+    """Restart works under the distributed coordinator too (restored
+    managers reach the restart barriers through their local relays)."""
+    log = counter(world)
+    comp = DmtcpComputation(world, relay=True)
+    comp.launch("node00", "counter")
+    comp.launch("node01", "counter")
+    world.engine.run(until=1.0)
+    comp.checkpoint(kill=True)
+    n_at_kill = len(log)
+    restart = comp.restart(placement={"node00": "node02", "node01": "node03"})
+    assert restart.duration > 0
+    world.engine.run(until=world.engine.now + 3.0)
+    assert len(log) > n_at_kill
+    no_failures(world)

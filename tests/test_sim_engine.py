@@ -1,0 +1,135 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    order = []
+    eng.call_at(2.0, order.append, "b")
+    eng.call_at(1.0, order.append, "a")
+    eng.call_at(3.0, order.append, "c")
+    eng.run()
+    assert order == ["a", "b", "c"]
+    assert eng.now == 3.0
+
+
+def test_ties_break_by_insertion_order():
+    eng = Engine()
+    order = []
+    for label in "abcde":
+        eng.call_at(1.0, order.append, label)
+    eng.run()
+    assert order == list("abcde")
+
+
+def test_call_after_is_relative():
+    eng = Engine()
+    seen = []
+    eng.call_at(5.0, lambda: eng.call_after(2.5, lambda: seen.append(eng.now)))
+    eng.run()
+    assert seen == [7.5]
+
+
+def test_call_soon_runs_at_current_time():
+    eng = Engine()
+    times = []
+    eng.call_at(1.0, lambda: eng.call_soon(times.append, eng.now))
+    eng.run()
+    assert times == [1.0]
+
+
+def test_cannot_schedule_in_the_past():
+    eng = Engine()
+    eng.call_at(1.0, lambda: None)
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.call_at(0.5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.call_after(-1.0, lambda: None)
+
+
+def test_cancelled_events_do_not_fire():
+    eng = Engine()
+    fired = []
+    ev = eng.call_at(1.0, fired.append, "x")
+    eng.call_at(2.0, fired.append, "y")
+    ev.cancel()
+    eng.run()
+    assert fired == ["y"]
+
+
+def test_pending_counts_live_events_only():
+    eng = Engine()
+    ev = eng.call_at(1.0, lambda: None)
+    eng.call_at(2.0, lambda: None)
+    assert eng.pending == 2
+    ev.cancel()
+    assert eng.pending == 1
+
+
+def test_run_until_time_stops_clock_at_bound():
+    eng = Engine()
+    fired = []
+    eng.call_at(1.0, fired.append, 1)
+    eng.call_at(10.0, fired.append, 10)
+    eng.run(until=5.0)
+    assert fired == [1]
+    assert eng.now == 5.0
+    eng.run()
+    assert fired == [1, 10]
+
+
+def test_run_until_predicate():
+    eng = Engine()
+    hits = []
+    for i in range(10):
+        eng.call_at(float(i), hits.append, i)
+    eng.run_until(lambda: len(hits) >= 3)
+    assert hits == [0, 1, 2]
+
+
+def test_run_until_predicate_raises_on_drain():
+    eng = Engine()
+    eng.call_at(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        eng.run_until(lambda: False)
+
+
+def test_step_returns_false_when_idle():
+    eng = Engine()
+    assert eng.step() is False
+
+
+def test_max_events_guard_catches_livelock():
+    eng = Engine()
+
+    def respawn():
+        eng.call_soon(respawn)
+
+    eng.call_soon(respawn)
+    with pytest.raises(SimulationError):
+        eng.run(max_events=100)
+
+
+def test_events_fired_counter():
+    eng = Engine()
+    for i in range(5):
+        eng.call_at(float(i), lambda: None)
+    eng.run()
+    assert eng.events_fired == 5
+
+
+def test_peek_time_skips_cancelled():
+    eng = Engine()
+    ev = eng.call_at(1.0, lambda: None)
+    eng.call_at(2.0, lambda: None)
+    ev.cancel()
+    assert eng.peek_time() == 2.0

@@ -1,0 +1,60 @@
+"""Unit and property tests for seeded random streams."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import RandomStreams
+
+
+def test_same_seed_same_stream_is_reproducible():
+    a = RandomStreams(42).stream("net")
+    b = RandomStreams(42).stream("net")
+    assert list(a.integers(0, 1000, 16)) == list(b.integers(0, 1000, 16))
+
+
+def test_streams_are_independent_of_creation_order():
+    s1 = RandomStreams(7)
+    s2 = RandomStreams(7)
+    # draw from "a" first in one factory, "b" first in the other
+    a1 = s1.stream("a").integers(0, 1000, 8)
+    b1 = s1.stream("b").integers(0, 1000, 8)
+    b2 = s2.stream("b").integers(0, 1000, 8)
+    a2 = s2.stream("a").integers(0, 1000, 8)
+    assert list(a1) == list(a2)
+    assert list(b1) == list(b2)
+
+
+def test_different_names_differ():
+    s = RandomStreams(0)
+    assert list(s.stream("x").integers(0, 2**30, 8)) != list(
+        s.stream("y").integers(0, 2**30, 8)
+    )
+
+
+def test_stream_is_cached_not_restarted():
+    s = RandomStreams(0)
+    first = s.stream("n").integers(0, 100, 4)
+    second = s.stream("n").integers(0, 100, 4)
+    # a fresh factory draws the concatenation, proving no reseed happened
+    fresh = RandomStreams(0).stream("n").integers(0, 100, 8)
+    assert list(first) + list(second) == list(fresh)
+
+
+def test_fork_derives_independent_factory():
+    root = RandomStreams(5)
+    child1 = root.fork("node-1")
+    child2 = root.fork("node-2")
+    assert child1.seed != child2.seed
+    assert list(child1.stream("m").integers(0, 2**30, 4)) != list(
+        child2.stream("m").integers(0, 2**30, 4)
+    )
+    # forking is itself deterministic
+    again = RandomStreams(5).fork("node-1")
+    assert again.seed == child1.seed
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.text(max_size=20))
+def test_property_stream_deterministic(seed, name):
+    x = RandomStreams(seed).stream(name).integers(0, 2**40)
+    y = RandomStreams(seed).stream(name).integers(0, 2**40)
+    assert x == y

@@ -1,0 +1,337 @@
+"""Unit tests for the cooperative task layer (generators-as-threads)."""
+
+import pytest
+
+from repro.errors import TaskCancelled, TaskError
+from repro.sim import Engine, Future, Scheduler, Timeout
+
+
+@pytest.fixture()
+def world():
+    eng = Engine()
+    return eng, Scheduler(eng)
+
+
+def test_task_runs_to_completion_and_returns_value(world):
+    eng, sched = world
+
+    def body():
+        yield Timeout(1.0)
+        return 42
+
+    task = sched.spawn(body(), name="t")
+    eng.run()
+    assert task.done
+    assert task.result == 42
+    assert eng.now == 1.0
+
+
+def test_timeouts_accumulate(world):
+    eng, sched = world
+
+    def body():
+        yield Timeout(1.0)
+        yield Timeout(2.0)
+
+    sched.spawn(body())
+    eng.run()
+    assert eng.now == 3.0
+
+
+def test_yield_none_reschedules_cooperatively(world):
+    eng, sched = world
+    order = []
+
+    def body(label):
+        for _ in range(3):
+            order.append(label)
+            yield None
+
+    sched.spawn(body("a"))
+    sched.spawn(body("b"))
+    eng.run()
+    assert order == ["a", "b", "a", "b", "a", "b"]
+    assert eng.now == 0.0
+
+
+def test_future_wait_and_resolve(world):
+    eng, sched = world
+    fut = Future("f")
+    got = []
+
+    def waiter():
+        value = yield fut
+        got.append(value)
+
+    def resolver():
+        yield Timeout(5.0)
+        fut.resolve("hello")
+
+    sched.spawn(waiter())
+    sched.spawn(resolver())
+    eng.run()
+    assert got == ["hello"]
+    assert eng.now == 5.0
+
+
+def test_yield_on_already_resolved_future(world):
+    eng, sched = world
+    fut = Future()
+    fut.resolve(7)
+
+    def body():
+        value = yield fut
+        return value
+
+    task = sched.spawn(body())
+    eng.run()
+    assert task.result == 7
+
+
+def test_future_rejection_propagates_into_task(world):
+    eng, sched = world
+    fut = Future()
+    caught = []
+
+    def body():
+        try:
+            yield fut
+        except ValueError as err:
+            caught.append(str(err))
+
+    sched.spawn(body())
+    eng.call_at(1.0, fut.reject, ValueError("boom"))
+    eng.run()
+    assert caught == ["boom"]
+
+
+def test_future_double_resolve_rejected(world):
+    fut = Future()
+    fut.resolve(1)
+    with pytest.raises(TaskError):
+        fut.resolve(2)
+
+
+def test_join_another_task(world):
+    eng, sched = world
+
+    def child():
+        yield Timeout(2.0)
+        return "payload"
+
+    def parent():
+        value = yield child_task
+        return value
+
+    child_task = sched.spawn(child())
+    parent_task = sched.spawn(parent())
+    eng.run()
+    assert parent_task.result == "payload"
+
+
+def test_task_exception_recorded_in_failures(world):
+    eng, sched = world
+
+    def body():
+        yield Timeout(1.0)
+        raise RuntimeError("died")
+
+    task = sched.spawn(body())
+    eng.run()
+    assert task.done
+    assert len(sched.failures) == 1
+    assert sched.failures[0][0] is task
+    with pytest.raises(RuntimeError):
+        _ = task.result
+
+
+def test_cancel_throws_into_generator(world):
+    eng, sched = world
+    witnessed = []
+
+    def body():
+        try:
+            yield Timeout(100.0)
+        except TaskCancelled:
+            witnessed.append("cancelled")
+            raise
+
+    task = sched.spawn(body())
+    eng.call_at(1.0, task.cancel)
+    eng.run()
+    assert witnessed == ["cancelled"]
+    assert task.done
+    assert not sched.failures  # cancellation is not a failure
+
+
+def test_handler_receives_unknown_yields(world):
+    eng, sched = world
+    seen = []
+
+    def handler(task, call):
+        seen.append(call)
+        task.complete_call(call * 2)
+
+    def body():
+        doubled = yield 21
+        return doubled
+
+    task = sched.spawn(body(), handler=handler)
+    eng.run()
+    assert seen == [21]
+    assert task.result == 42
+
+
+def test_handler_fail_call_raises_in_task(world):
+    eng, sched = world
+
+    def handler(task, call):
+        task.fail_call(ValueError("no such syscall"))
+
+    def body():
+        try:
+            yield "bogus"
+        except ValueError:
+            return "handled"
+
+    task = sched.spawn(body(), handler=handler)
+    eng.run()
+    assert task.result == "handled"
+
+
+def test_yield_without_handler_is_error(world):
+    eng, sched = world
+
+    def body():
+        yield "mystery"
+
+    task = sched.spawn(body())
+    eng.run()
+    assert task.done
+    assert sched.failures
+
+
+def test_freeze_cancels_scheduled_resume(world):
+    eng, sched = world
+    progressed = []
+
+    def body():
+        yield Timeout(10.0)
+        progressed.append("after-sleep")
+
+    task = sched.spawn(body())
+    eng.call_at(1.0, task.freeze)
+    eng.run()
+    assert progressed == []
+    assert not task.done
+
+
+def test_freeze_and_thaw_resumes_timeouts_from_scratch(world):
+    # Freezing mid-Timeout and thawing re-runs nothing: the timeout was the
+    # *scheduled resume*, so thaw resumes the generator immediately.  The
+    # kernel layer is responsible for re-issuing interrupted sleeps; at the
+    # sim layer thaw continues the continuation.
+    eng, sched = world
+
+    def body():
+        yield Timeout(10.0)
+        return eng.now
+
+    task = sched.spawn(body())
+    eng.call_at(1.0, task.freeze)
+    eng.call_at(5.0, task.thaw)
+    eng.run()
+    assert task.done
+
+
+def test_freeze_while_waiting_on_future_discards_waiter(world):
+    eng, sched = world
+    fut = Future()
+
+    def body():
+        yield fut
+        return "woke"
+
+    task = sched.spawn(body())
+    eng.call_at(1.0, task.freeze)
+    eng.call_at(2.0, fut.resolve, "late")
+    eng.run()
+    assert not task.done  # frozen task missed the resolve
+
+    # thaw re-parks nothing: pending_call was a Future wait handled at the
+    # sim layer, so the generator resumes with None.
+    task.thaw()
+    eng.run()
+    assert task.result == "woke"
+
+
+def test_freeze_with_pending_handler_call_redispatches_on_thaw(world):
+    eng, sched = world
+    dispatches = []
+
+    def parking_handler(task, call):
+        dispatches.append(("old", call))
+        # never completes: simulates a blocked syscall
+
+    def completing_handler(task, call):
+        dispatches.append(("new", call))
+        task.complete_call("result-from-new-kernel")
+
+    def body():
+        value = yield "read"
+        return value
+
+    task = sched.spawn(body(), handler=parking_handler)
+    eng.call_at(1.0, task.freeze)
+    eng.run()
+    assert dispatches == [("old", "read")]
+    assert task.pending_call == "read"
+
+    task.thaw(handler=completing_handler)
+    eng.run()
+    assert dispatches == [("old", "read"), ("new", "read")]
+    assert task.result == "result-from-new-kernel"
+
+
+def test_drop_abandons_without_closing_generator(world):
+    eng, sched = world
+    cleanup = []
+
+    def body():
+        try:
+            yield Timeout(100.0)
+        finally:
+            cleanup.append("closed")
+
+    task = sched.spawn(body())
+    eng.call_at(1.0, task.drop)
+    eng.run()
+    assert task.done
+    # generator not closed by drop itself (GC may close it later)
+    assert cleanup == []
+
+
+def test_cannot_freeze_finished_task(world):
+    eng, sched = world
+
+    def body():
+        return 1
+        yield  # pragma: no cover
+
+    task = sched.spawn(body())
+    eng.run()
+    with pytest.raises(TaskError):
+        task.freeze()
+
+
+def test_scheduler_tracks_live_tasks(world):
+    eng, sched = world
+
+    def body():
+        yield Timeout(1.0)
+
+    t1 = sched.spawn(body())
+    t2 = sched.spawn(body())
+    assert sched.tasks == {t1, t2}
+    eng.run()
+    assert sched.tasks == set()
