@@ -3,6 +3,7 @@
     python -m repro list                  # available demos
     python -m repro quickstart            # run one demo
     python -m repro selfcheck             # 30-second end-to-end check
+    python -m repro trace <scenario>      # emit a Chrome trace (see --help)
 """
 
 from __future__ import annotations
@@ -56,6 +57,64 @@ def _selfcheck() -> None:
     )
 
 
+def _trace(argv: list[str]) -> int:
+    """`python -m repro trace [scenario] [--seed N] [--out PATH] [--jsonl PATH]`.
+
+    Runs a traced end-to-end scenario and writes a Chrome trace_event
+    file (open in chrome://tracing or https://ui.perfetto.dev), plus an
+    optional JSONL dump.
+    """
+    import argparse
+
+    from repro.core.stats import CKPT_STAGES, RESTART_STAGES
+    from repro.obs.scenarios import SCENARIOS, run_scenario
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Trace a checkpoint/restart scenario on the simulated cluster.",
+    )
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        default="ckpt-restart",
+        choices=sorted(SCENARIOS),
+        help="scenario to run (default: ckpt-restart)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument("--out", default=None, help="Chrome trace output path")
+    parser.add_argument("--jsonl", default=None, help="also write a JSONL dump here")
+    args = parser.parse_args(argv)
+
+    tracer = run_scenario(args.scenario, seed=args.seed)
+    out = args.out or f"trace_{args.scenario}.json"
+    tracer.write_chrome(out)
+    if args.jsonl:
+        tracer.write_jsonl(args.jsonl)
+
+    ckpt_spans = {s["name"] for s in tracer.spans(cat="ckpt")}
+    restart_spans = {s["name"] for s in tracer.spans(cat="restart")}
+    counters = tracer.snapshot()
+    print(f"scenario {args.scenario!r} (seed {args.seed}): "
+          f"{len(tracer.events)} events, {len(counters)} counters -> {out}")
+    print(f"  checkpoint stages traced: "
+          f"{sorted(ckpt_spans & set(CKPT_STAGES))}")
+    print(f"  restart stages traced:    "
+          f"{sorted(restart_spans & set(RESTART_STAGES))}")
+    for key in (
+        "sim.events_fired",
+        "sched.context_switches",
+        "sys.total",
+        "coord.barriers_released",
+        "dmtcp.drained_bytes",
+        "dmtcp.refilled_bytes",
+        "mtcp.pages_written",
+        "restart.processes_restored",
+    ):
+        if key in counters:
+            print(f"  {key:28s} {counters[key]:g}")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     """Dispatch `python -m repro <command>`."""
     if not argv or argv[0] in ("-h", "--help", "list"):
@@ -67,6 +126,8 @@ def main(argv: list[str]) -> int:
     if cmd == "selfcheck":
         _selfcheck()
         return 0
+    if cmd == "trace":
+        return _trace(argv[1:])
     if cmd in _EXAMPLES:
         runpy.run_path(str(_examples_dir() / f"{cmd}.py"), run_name="__main__")
         return 0

@@ -110,6 +110,11 @@ class CoordinatorState:
     on_restart_complete: list[Callable[[RestartOutcome], None]] = field(default_factory=list)
     #: total barrier messages processed (ablation: coordinator load)
     barrier_messages: int = 0
+    #: observability: the world tracer (wired in by DmtcpComputation) and
+    #: per-barrier first/last arrival times for straggler latency
+    tracer: Optional[Any] = None
+    barrier_open: dict[str, float] = field(default_factory=dict)
+    barrier_last_arrival: dict[str, float] = field(default_factory=dict)
     #: aggregated arrivals from barrier relays (distributed-coordinator
     #: mode): name -> count, and the relay fds to release through
     barrier_counts: dict[str, int] = field(default_factory=dict)
@@ -188,6 +193,7 @@ def _handle_connection(sys: Sys, state: CoordinatorState, cfd: int):
                 state.restart_records = []
                 state.restart_started_at = message.get("t0", 0.0)
                 state.adverts = {}
+                state.done_fds = set()
             # replay adverts that arrived before this restarter connected
             for key, (host, port) in state.adverts.items():
                 yield from _send_safe(
@@ -220,9 +226,25 @@ def _handle_disconnect(sys: Sys, state: CoordinatorState, cfd: int):
     flight, the quorum shrinks: a process may legitimately exit between
     the checkpoint broadcast and its suspend barrier (e.g. it finished
     its work), and the remaining members must not wait for it forever.
+
+    The same applies during restart: a restored process whose work is
+    nearly done can resume and exit before its manager thread gets to
+    report restart-done (the process exit kills the manager mid-report),
+    so a restart-member disconnect shrinks the restart quorum too.
     """
     was_member = cfd in state.members
+    was_restart_member = was_member and state.members[cfd].get("restart")
     _drop_connection(state, cfd)
+    if (
+        was_restart_member
+        and state.phase == "restart"
+        and cfd not in state.done_fds  # already reported; exit is expected
+    ):
+        state.restart_total -= 1
+        for name in list(state.barrier_arrivals):
+            yield from _maybe_release(sys, state, name)
+        yield from _maybe_finish_restart(sys, state)
+        return
     if (
         was_member
         and state.phase == "checkpoint"
@@ -240,6 +262,16 @@ def _barrier_arrive(
     sys: Sys, state: CoordinatorState, cfd: int, name: str, n: int, relay: bool = False
 ):
     state.barrier_messages += 1
+    tracer = state.tracer
+    if tracer is not None:
+        if name not in state.barrier_open:
+            # first arrival opens the barrier span: its duration is how
+            # long the earliest process waited for the release
+            state.barrier_open[name] = tracer.begin(
+                f"coordinator/barrier:{name}", name, cat="barrier"
+            )
+        state.barrier_last_arrival[name] = tracer.clock()
+        tracer.count("coord.barrier_messages")
     arrivals = state.barrier_arrivals.setdefault(name, set())
     if relay:
         state.barrier_counts[name] = state.barrier_counts.get(name, 0) + n
@@ -258,6 +290,20 @@ def _maybe_release(sys: Sys, state: CoordinatorState, name: str):
         fds = sorted(arrivals) + sorted(state.barrier_relay_fds.pop(name, set()))
         arrivals.clear()
         state.barrier_counts.pop(name, None)
+        tracer = state.tracer
+        if tracer is not None and name in state.barrier_open:
+            first = state.barrier_open.pop(name)
+            last = state.barrier_last_arrival.pop(name, first)
+            straggler = last - first
+            tracer.end(
+                f"coordinator/barrier:{name}",
+                name,
+                cat="barrier",
+                n=total,
+                straggler_s=straggler,
+            )
+            tracer.count("coord.barriers_released")
+            tracer.count_max("coord.barrier_straggler_max_s", straggler)
         for mfd in fds:
             yield from _send_safe(sys, state, mfd, P.msg(P.MSG_BARRIER_RELEASE, name=name))
 
@@ -287,23 +333,31 @@ def _start_checkpoint(sys: Sys, state: CoordinatorState, options: dict):
         )
 
 
+def _maybe_finish_restart(sys: Sys, state: CoordinatorState):
+    """Declare the restart finished once every (still-live) restored
+    process has reported in."""
+    if state.phase != "restart" or state.restart_done < state.restart_total:
+        return
+    now = yield from sys.time()
+    outcome = RestartOutcome(
+        started_at=state.restart_started_at,
+        finished_at=now,
+        records=list(state.restart_records),
+    )
+    state.restart_history.append(outcome)
+    state.phase = "idle"
+    state.restarter_fds = set()
+    for cb in state.on_restart_complete:
+        cb(outcome)
+
+
 def _ckpt_done(sys: Sys, state: CoordinatorState, cfd: int, message: dict):
     if message.get("restart"):
         state.restart_done += 1
+        state.done_fds.add(cfd)
         if message.get("record") is not None:
             state.restart_records.append(message["record"])
-        if state.restart_done >= state.restart_total:
-            now = yield from sys.time()
-            outcome = RestartOutcome(
-                started_at=state.restart_started_at,
-                finished_at=now,
-                records=list(state.restart_records),
-            )
-            state.restart_history.append(outcome)
-            state.phase = "idle"
-            state.restarter_fds = set()
-            for cb in state.on_restart_complete:
-                cb(outcome)
+        yield from _maybe_finish_restart(sys, state)
         return
     state.done_fds.add(cfd)
     state.records.append(message["record"])

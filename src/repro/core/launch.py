@@ -60,7 +60,7 @@ class DmtcpComputation:
         self.ckpt_dir = ckpt_dir
         self.compression = compression
         self.relay = relay
-        self.state = CoordinatorState(port=port, interval=interval)
+        self.state = CoordinatorState(port=port, interval=interval, tracer=world.tracer)
         #: connection-table stash across exec (the hijack library persists
         #: its state across the exec boundary; Section 4.2's exec wrappers)
         self._exec_stash: dict[tuple[str, int], DmtcpRuntime] = {}

@@ -22,6 +22,7 @@ from repro.core import protocol as P
 from repro.core.imagefile import CheckpointImage, conn_key
 from repro.core.stats import CheckpointRecord, StageClock
 from repro.errors import SyscallError
+from repro.obs.tracer import proc_track
 from repro.kernel.streams import CTRL_DRAIN_TOKEN, FrameAssembler
 from repro.kernel.syscalls import Sys, connect_retry, recv_frame, send_frame
 
@@ -124,13 +125,16 @@ def run_checkpoint(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: FrameAssembl
     """Stages 2-7 of Figure 1, executed in every checkpointed process."""
     process = runtime.process
     world = runtime.world
-    clock = StageClock(t_start=world.engine.now)
+    tracer = world.tracer
+    track = proc_track(process.node.hostname, process.program, runtime.vpid)
+    clock = StageClock(tracer, track, cat="ckpt")
     ckpt_id = message["ckpt_id"]
     runtime.in_checkpoint = True
+    tracer.count("dmtcp.checkpoints_started")
     _fire_hook(runtime, "pre-checkpoint", ckpt_id=ckpt_id)
 
     # ---- stage 2: suspend user threads --------------------------------
-    clock.begin(world.engine.now)
+    clock.begin("suspend")
     while runtime.delay_count > 0:  # dmtcpaware critical section
         yield from sys.sleep(0.001)
     yield from sys.suspend_threads()
@@ -150,20 +154,20 @@ def run_checkpoint(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: FrameAssembl
         except SyscallError:
             continue  # fd closed since recorded
     yield from barrier(sys, bchan[0], bchan[1], P.BARRIER_SUSPENDED)
-    clock.end(world.engine.now, "suspend")
+    clock.end("suspend")
 
     # ---- stage 3: elect shared-FD leaders ------------------------------
-    clock.begin(world.engine.now)
+    clock.begin("elect")
     for sfd in runtime.socket_fds():
         try:
             yield from sys.fcntl(sfd, "F_SETOWN", process.pid)
         except SyscallError:
             continue
     yield from barrier(sys, bchan[0], bchan[1], P.BARRIER_ELECTED)
-    clock.end(world.engine.now, "elect")
+    clock.end("elect")
 
     # ---- stage 4: drain kernel buffers ---------------------------------
-    clock.begin(world.engine.now)
+    clock.begin("drain")
     led = yield from _led_endpoints(sys, runtime)
     drained: dict[int, list] = {}
     threads = []
@@ -185,12 +189,12 @@ def run_checkpoint(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: FrameAssembl
     )
     yield from sys.close(table_fd)
     yield from barrier(sys, bchan[0], bchan[1], P.BARRIER_DRAINED)
-    clock.end(world.engine.now, "drain")
+    clock.end("drain")
 
     # ---- stage 5: write checkpoint to disk ------------------------------
     from repro.core import mtcp
 
-    clock.begin(world.engine.now)
+    clock.begin("write")
     image = mtcp.build_image(runtime, ckpt_id, drained)
     image_path = mtcp.image_path(runtime)
     forked = bool(message.get("forked"))
@@ -205,19 +209,19 @@ def run_checkpoint(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: FrameAssembl
     else:
         yield from mtcp.write_image(sys, runtime, image, image_path)
     yield from barrier(sys, bchan[0], bchan[1], P.BARRIER_CHECKPOINTED)
-    clock.end(world.engine.now, "write")
+    clock.end("write")
 
     # ---- stage 6: refill kernel buffers ---------------------------------
     from repro.core.mtcp import endpoint_dead
 
-    clock.begin(world.engine.now)
+    clock.begin("refill")
     alive = [
         sfd for sfd in led
         if sfd in process.fds and not endpoint_dead(process.get_fd(sfd))
     ]
     yield from _refill_all(runtime, alive, drained)
     yield from barrier(sys, bchan[0], bchan[1], P.BARRIER_REFILLED)
-    clock.end(world.engine.now, "refill")
+    clock.end("refill")
 
     # ---- stage 7: restore owners, resume user threads -------------------
     for sfd, owner in runtime.saved_owners.items():
@@ -244,14 +248,19 @@ def run_checkpoint(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: FrameAssembl
         yield from sys.resume_threads()
     runtime.in_checkpoint = False
     runtime.checkpoints_done += 1
+    tracer.count("dmtcp.checkpoints_done")
     _fire_hook(runtime, "post-checkpoint", ckpt_id=ckpt_id)
 
 
 def _rejoin_after_restart(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: FrameAssembler, bchan: tuple, image: CheckpointImage):
     """Restart steps 5-7 (Figure 2): rejoin at Barrier 5, refill, resume."""
     world = runtime.world
+    tracer = world.tracer
+    track = proc_track(
+        runtime.process.node.hostname, runtime.process.program, runtime.vpid
+    )
     yield from barrier(sys, bchan[0], bchan[1], "restart-" + P.BARRIER_CHECKPOINTED)
-    t0 = world.engine.now
+    tracer.begin(track, "refill", cat="restart")
     dead_fds = {f.fd for f in image.fds if f.peer_dead}
     led = sorted(set(image.drained) - dead_fds)
     yield from _refill_all(runtime, led, image.drained)
@@ -264,7 +273,7 @@ def _rejoin_after_restart(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: Frame
                 continue
     yield from sys.resume_threads()
     stages = dict(getattr(runtime, "restart_stages", {}))
-    stages["refill"] = world.engine.now - t0
+    stages["refill"] = tracer.end(track, "refill", cat="restart")
     record = {
         "host": runtime.process.node.hostname,
         "vpid": runtime.vpid,
@@ -275,6 +284,7 @@ def _rejoin_after_restart(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: Frame
         sys, fd, P.msg(P.MSG_CKPT_DONE, record=record, image_path=None, host=runtime.process.node.hostname, restart=True)
     )
     runtime.restarts_done += 1
+    tracer.count("dmtcp.restarts_done")
     _fire_hook(runtime, "post-restart", ckpt_id=image.ckpt_id)
 
 
@@ -335,6 +345,10 @@ def _drain_endpoint(sys: Sys, runtime: "DmtcpRuntime", sfd: int, out: dict):
             assert peer_info is None or peer_info.ctrl == "dmtcp-peer-info"
         except SyscallError:
             pass
+    tracer = runtime.world.tracer
+    if tracer.enabled:
+        tracer.count("dmtcp.drained_chunks", len(chunks))
+        tracer.count("dmtcp.drained_bytes", sum(c.nbytes for c in chunks))
     out[sfd] = chunks
 
 
@@ -344,13 +358,13 @@ def _refill_all(runtime: "DmtcpRuntime", led: list[int], drained: dict[int, list
     process = runtime.process
     threads = []
     for sfd in led:
-        gen = _refill_endpoint(Sys(), sfd, drained.get(sfd, []))
+        gen = _refill_endpoint(Sys(), sfd, drained.get(sfd, []), world.tracer)
         threads.append(world.spawn_thread(process, gen, f"refill-fd{sfd}", kind="manager"))
     for t in threads:
         yield t.task.done_future
 
 
-def _refill_endpoint(sys: Sys, sfd: int, my_drained: list):
+def _refill_endpoint(sys: Sys, sfd: int, my_drained: list, tracer=None):
     """Send drained data back to its sender; re-send what the peer drained.
 
     Section 4.3 step 6: "DMTCP then sends the drained socket buffer data
@@ -370,6 +384,9 @@ def _refill_endpoint(sys: Sys, sfd: int, my_drained: list):
         return  # peer side closed before checkpoint; nothing to re-send
     (tag, peer_chunks), _size = result
     assert tag == REFILL_TAG, f"unexpected frame during refill: {tag}"
+    if tracer is not None and tracer.enabled:
+        tracer.count("dmtcp.refilled_chunks", len(peer_chunks))
+        tracer.count("dmtcp.refilled_bytes", sum(c.nbytes for c in peer_chunks))
     for chunk in peer_chunks:
         # force: the refilled volume is bounded by what the channel held
         # at suspend time (recv queue + send queue + wire), which the

@@ -161,7 +161,17 @@ def build_image(runtime: "DmtcpRuntime", ckpt_id: int, drained: dict[int, list])
 
 
 def write_image(sys: Sys, runtime: "DmtcpRuntime", image: CheckpointImage, path: str):
-    """Stage 5: stream user-space memory through gzip to the image file."""
+    """Stage 5: stream user-space memory through gzip to the image file.
+
+    Runs on its own tracer track (``<host>/mtcp[<vpid>]``): with forked
+    checkpointing the COW child writes in the background while the parent
+    proceeds, so the write span must not nest inside the parent's stage
+    spans.
+    """
+    world = runtime.world
+    tracer = world.tracer
+    track = f"{image.hostname}/mtcp[{image.vpid}]"
+    tracer.begin(track, "mtcp.write", cat="mtcp", path=path)
     est = compression.estimate(
         [(r.size, r.profile) for r in image.regions],
         runtime.world.spec.cpu,
@@ -172,6 +182,22 @@ def write_image(sys: Sys, runtime: "DmtcpRuntime", image: CheckpointImage, path:
     fd = yield from sys.open(path, "w")
     yield from sys.write(fd, image.stored_bytes, payload=image)
     yield from sys.close(fd)
+    tracer.end(track, "mtcp.write", cat="mtcp")
+    if tracer.enabled:
+        page_bytes = world.spec.os.page_bytes
+        tracer.count("mtcp.images_written")
+        tracer.count("mtcp.image_bytes", image.image_bytes)
+        tracer.count("mtcp.stored_bytes", image.stored_bytes)
+        tracer.count("mtcp.pages_written", -(-image.stored_bytes // page_bytes))
+        tracer.instant(
+            track,
+            "mtcp.compression",
+            cat="mtcp",
+            compressed=image.compressed,
+            image_bytes=image.image_bytes,
+            stored_bytes=image.stored_bytes,
+            ratio=round(image.stored_bytes / max(image.image_bytes, 1), 6),
+        )
 
 
 def read_image(sys: Sys, path: str):

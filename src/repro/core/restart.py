@@ -54,9 +54,13 @@ def make_restart_program(computation: "DmtcpComputation"):
     def dmtcp_restart_main(sys: Sys, argv):
         """argv: dmtcp_restart <total_processes> <image_path>..."""
         world = computation.world
+        tracer = world.tracer
         total = int(argv[1])
         paths = argv[2:]
         my_host = yield from sys.gethostname()
+        my_pid = yield from sys.getpid()
+        # pid-qualified: relocation can land several restarters on a host
+        track = f"{my_host}/restart[{my_pid}]"
         t0 = yield from sys.time()
 
         # -- coordinator / discovery connection ---------------------------
@@ -70,14 +74,14 @@ def make_restart_program(computation: "DmtcpComputation"):
             P.CTL_FRAME_BYTES,
         )
 
-        t_read0 = yield from sys.time()
+        tracer.begin(track, "image_read", cat="restart")
         images = []
         for path in paths:
             images.append((yield from mtcp.read_image(sys, path)))
-        t_read1 = yield from sys.time()
+        dur_read = tracer.end(track, "image_read", cat="restart", n=len(paths))
 
         # ---- step 1: reopen files, recreate ptys, re-bind listeners ------
-        t_stage = yield from sys.time()
+        tracer.begin(track, "restore_files", cat="restart")
         desc_fd: dict[tuple, int] = {}
         pty_rename: dict[str, str] = {}
         for image in images:
@@ -107,11 +111,10 @@ def make_restart_program(computation: "DmtcpComputation"):
                         yield from sys.tcsetattr(sfd, f.termios)
                     desc_fd[("pty", f.pty_name, "master")] = mfd
                     desc_fd[("pty", f.pty_name, "slave")] = sfd
-        now = yield from sys.time()
-        stage_files = now - t_stage
+        stage_files = tracer.end(track, "restore_files", cat="restart")
 
         # ---- step 2: recreate and reconnect sockets ----------------------
-        t_stage = now
+        tracer.begin(track, "reconnect", cat="restart")
         # socketpairs and promoted pipes: both ends live on this host
         pair_keys_done = set()
         need_accept: set[str] = set()
@@ -204,14 +207,16 @@ def make_restart_program(computation: "DmtcpComputation"):
             yield t.task.done_future
         while accept_done["n"] < len(need_accept):
             yield from sys.sleep(0.001)
-        now = yield from sys.time()
-        stage_reconnect = now - t_stage
+        stage_reconnect = tracer.end(
+            track, "reconnect", cat="restart",
+            accepted=len(need_accept), connected=len(need_connect),
+        )
         stage_times = {
             "restore_files": stage_files,
             "reconnect": stage_reconnect,
             # reading the images off storage counts towards Table 1b's
             # restore-memory stage (shared across this host's processes)
-            "image_read": (t_read1 - t_read0) / max(len(images), 1),
+            "image_read": dur_read / max(len(images), 1),
         }
 
         # ---- step 3: fork into user processes ---------------------------
@@ -336,10 +341,14 @@ def _make_restore_child(computation, image, fdmap: dict, stage_times: dict, gate
                 yield from sys.fcntl(target_fd, "F_SETFD_CLOEXEC", 1)
 
         # ---- step 5: restore memory and threads --------------------------
-        t0 = yield from sys.time()
+        tracer = world.tracer
+        child_track = f"{host}/{image.program}[{image.vpid}]"
+        tracer.begin(child_track, "restore_memory", cat="restart")
         yield from mtcp.restore_memory(sys, world, process, image)
         threads = mtcp.adopt_threads(world, process, image)
-        t1 = yield from sys.time()
+        dur_restore = tracer.end(child_track, "restore_memory", cat="restart")
+        tracer.count("restart.processes_restored")
+        tracer.count("restart.threads_adopted", len(threads))
 
         # identity: program, env, signal dispositions, terminal
         process.program = image.program
@@ -371,7 +380,7 @@ def _make_restore_child(computation, image, fdmap: dict, stage_times: dict, gate
         process.sys = image.sys_ref
         runtime.restart_stages = dict(stage_times)
         runtime.restart_stages["restore_memory"] = (
-            t1 - t0 + runtime.restart_stages.pop("image_read", 0.0)
+            dur_restore + runtime.restart_stages.pop("image_read", 0.0)
         )
 
         world.spawn_thread(

@@ -1,10 +1,18 @@
-"""Per-stage timing records (Table 1 comes straight out of these)."""
+"""Per-stage timing records (Table 1 comes straight out of these).
+
+Since the observability refactor, :class:`StageClock` is a thin veneer
+over :class:`repro.obs.Tracer` spans: ``begin``/``end`` open and close a
+span on the process's track, and the recorded stage duration is exactly
+the span's duration.  Table 1 numbers and exported traces therefore come
+from the same measurement and can never disagree.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from statistics import mean
-from typing import Optional
+
+from repro.obs.tracer import Tracer
 
 #: Stage names, matching Table 1 rows.
 CKPT_STAGES = [
@@ -22,23 +30,30 @@ RESTART_STAGES = [
 ]
 
 
-@dataclass
 class StageClock:
-    """Accumulates (stage -> duration) for one process's checkpoint."""
+    """Accumulates (stage -> duration) for one process's checkpoint.
 
-    t_start: float
-    stages: dict[str, float] = field(default_factory=dict)
-    _mark: Optional[float] = None
+    Each stage is one tracer span on ``track``; durations come from the
+    tracer's span measurements (which work even when recording is off).
+    """
 
-    def begin(self, now: float) -> None:
-        """Mark the start of a stage."""
-        self._mark = now
+    __slots__ = ("tracer", "track", "cat", "t_start", "stages")
 
-    def end(self, now: float, stage: str) -> None:
-        """Close the open stage, accumulating its duration."""
-        assert self._mark is not None, f"end({stage}) without begin"
-        self.stages[stage] = self.stages.get(stage, 0.0) + (now - self._mark)
-        self._mark = None
+    def __init__(self, tracer: Tracer, track: str, cat: str = "ckpt"):
+        self.tracer = tracer
+        self.track = track
+        self.cat = cat
+        self.t_start = tracer.clock()
+        self.stages: dict[str, float] = {}
+
+    def begin(self, stage: str) -> None:
+        """Open the span for ``stage``."""
+        self.tracer.begin(self.track, stage, cat=self.cat)
+
+    def end(self, stage: str) -> None:
+        """Close the open stage span, accumulating its duration."""
+        duration = self.tracer.end(self.track, stage, cat=self.cat)
+        self.stages[stage] = self.stages.get(stage, 0.0) + duration
 
     @property
     def total(self) -> float:

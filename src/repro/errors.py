@@ -29,6 +29,10 @@ class TaskCancelled(BaseException):
     """
 
 
+class TraceError(ReproError):
+    """The tracer was driven incorrectly (unbalanced or mismatched spans)."""
+
+
 class KernelError(ReproError):
     """Base class for simulated-kernel failures."""
 

@@ -36,6 +36,7 @@ from repro.kernel.sockets import (
 from repro.kernel.streams import Chunk
 from repro.kernel.sync import Semaphore
 from repro.kernel.syscalls import Sys
+from repro.obs.tracer import Tracer
 from repro.sim.rng import RandomStreams
 from repro.sim.tasks import Scheduler, Task, TaskState
 
@@ -79,10 +80,21 @@ class _NodeState:
 class World:
     """The simulated cluster operating system."""
 
-    def __init__(self, machine: Machine, seed: int = 0, pid_max: int = 30000):
+    def __init__(
+        self,
+        machine: Machine,
+        seed: int = 0,
+        pid_max: int = 30000,
+        tracer: Optional[Tracer] = None,
+    ):
         self.machine = machine
         self.engine = machine.engine
         self.spec: HardwareSpec = machine.spec
+        #: The cluster-wide tracer (disabled by default, zero-cost).
+        #: Every layer -- engine, scheduler, syscalls, DMTCP -- reports
+        #: into this one instance, keyed on virtual time.
+        self.tracer = tracer or Tracer(clock=lambda: self.engine.now)
+        self.engine.tracer = self.tracer
         self.scheduler = Scheduler(self.engine)
         self.rng = RandomStreams(seed)
         self.pid_max = pid_max
@@ -313,6 +325,9 @@ class World:
         if handler is None:
             task.fail_call(SyscallError("ENOSYS", call.name))
             return
+        if self.tracer.enabled:
+            self.tracer.count("sys.total")
+            self.tracer.count(f"sys.{call.name}")
         epoch = task.epoch
 
         def run() -> None:

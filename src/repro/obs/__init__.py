@@ -1,0 +1,20 @@
+"""Observability: virtual-time tracing, counters, and trace exporters.
+
+The :class:`~repro.obs.tracer.Tracer` is owned by the world and shared by
+every instrumented layer -- the sim engine, the kernel, the coordinator,
+MTCP, and restart.  See the "Observability" section of README.md for the
+trace schema and counter names.
+"""
+
+from repro.obs.tracer import TraceEvent, Tracer, proc_track
+from repro.obs.export import chrome_trace, jsonl_lines, write_chrome, write_jsonl
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "jsonl_lines",
+    "proc_track",
+    "write_chrome",
+    "write_jsonl",
+]

@@ -1,0 +1,113 @@
+"""Trace exporters: JSON Lines and Chrome ``trace_event`` format.
+
+The JSONL format is the canonical machine-readable dump: one event per
+line, keys sorted, floats rendered by ``json`` -- byte-identical across
+runs with the same seed.  The Chrome format is loadable in
+``chrome://tracing`` and https://ui.perfetto.dev: tracks are mapped onto
+(pid, tid) pairs by splitting the track name on its first ``/`` (node
+first, process/thread second), with metadata events naming both.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TextIO, Union
+
+from repro.obs.tracer import Tracer
+
+__all__ = ["jsonl_lines", "write_jsonl", "chrome_trace", "write_chrome"]
+
+#: Virtual seconds -> trace_event microseconds.
+_US = 1_000_000
+
+
+def jsonl_lines(tracer: Tracer) -> list[str]:
+    """Render every event (and a final counter record) as JSONL lines."""
+    lines = []
+    for ev in tracer.events:
+        record: dict = {"ph": ev.ph, "ts": ev.ts, "track": ev.track, "name": ev.name}
+        if ev.cat is not None:
+            record["cat"] = ev.cat
+        if ev.args:
+            record["args"] = ev.args
+        lines.append(json.dumps(record, sort_keys=True))
+    if tracer.counters:
+        counters = {k: tracer.counters[k] for k in sorted(tracer.counters)}
+        lines.append(json.dumps({"ph": "counters", "values": counters}, sort_keys=True))
+    return lines
+
+
+def write_jsonl(tracer: Tracer, dest: Union[str, TextIO]) -> None:
+    """Write the JSONL dump to a path or open text file."""
+    text = "\n".join(jsonl_lines(tracer)) + "\n"
+    if isinstance(dest, str):
+        with open(dest, "w") as fh:
+            fh.write(text)
+    else:
+        dest.write(text)
+
+
+def _track_ids(tracer: Tracer) -> dict[str, tuple[int, int]]:
+    """Assign stable (pid, tid) pairs to track names, grouped by node."""
+    pids: dict[str, int] = {}
+    tids: dict[str, tuple[int, int]] = {}
+    next_tid: dict[int, int] = {}
+    for ev in tracer.events:
+        if ev.track in tids:
+            continue
+        node, _, rest = ev.track.partition("/")
+        pid = pids.setdefault(node, len(pids) + 1)
+        tid = next_tid.get(pid, 0) + 1
+        next_tid[pid] = tid
+        tids[ev.track] = (pid, tid)
+    return tids
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """Build the ``trace_event`` JSON object for this tracer."""
+    tids = _track_ids(tracer)
+    events: list[dict] = []
+    # metadata: name the processes (nodes) and threads (tracks)
+    seen_pids: set[int] = set()
+    for track, (pid, tid) in sorted(tids.items(), key=lambda kv: kv[1]):
+        node, _, rest = track.partition("/")
+        if pid not in seen_pids:
+            seen_pids.add(pid)
+            events.append(
+                {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                 "args": {"name": node}}
+            )
+        events.append(
+            {"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+             "args": {"name": rest or track}}
+        )
+    for ev in tracer.events:
+        pid, tid = tids[ev.track]
+        record: dict = {
+            "ph": ev.ph,
+            "ts": round(ev.ts * _US, 3),
+            "pid": pid,
+            "tid": tid,
+            "name": ev.name,
+            "cat": ev.cat or "repro",
+        }
+        if ev.ph == "i":
+            record["s"] = "t"  # thread-scoped instant
+        if ev.args:
+            record["args"] = ev.args
+        events.append(record)
+    # final counter values, one "C" sample each, at the trace's end time
+    end_ts = round((tracer.events[-1].ts if tracer.events else 0.0) * _US, 3)
+    for name in sorted(tracer.counters):
+        events.append(
+            {"ph": "C", "ts": end_ts, "pid": 0, "tid": 0, "name": name,
+             "args": {"value": tracer.counters[name]}}
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(tracer: Tracer, path: str) -> None:
+    """Write the Chrome trace_event file (open in chrome://tracing)."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer), fh, sort_keys=True)
+        fh.write("\n")

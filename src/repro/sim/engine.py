@@ -62,6 +62,10 @@ class Engine:
         self._running = False
         #: Total events executed; useful for complexity assertions in tests.
         self.events_fired: int = 0
+        #: Optional repro.obs.Tracer; the world wires its own in.  Kept as
+        #: a plain attribute (None by default) so the hot loop pays one
+        #: attribute test when tracing is off.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -108,6 +112,10 @@ class Engine:
         self._drop_cancelled()
         if not self._heap:
             return False
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.count("sim.events_fired")
+            tracer.count_max("sim.heap_depth_max", len(self._heap))
         ev = heapq.heappop(self._heap)
         self.now = ev.time
         ev.fired = True
@@ -144,12 +152,18 @@ class Engine:
 
     def run_until(self, predicate: Callable[[], bool], max_events: int = 50_000_000) -> None:
         """Run until ``predicate()`` becomes true.  Raises if the heap drains first."""
-        fired = 0
-        while not predicate():
-            if not self.step():
-                raise SimulationError("event heap drained before predicate held")
-            fired += 1
-            if fired >= max_events:
-                raise SimulationError(
-                    f"engine exceeded {max_events} events waiting for predicate"
-                )
+        if self._running:
+            raise SimulationError("Engine.run_until() is not reentrant")
+        self._running = True
+        try:
+            fired = 0
+            while not predicate():
+                if not self.step():
+                    raise SimulationError("event heap drained before predicate held")
+                fired += 1
+                if fired >= max_events:
+                    raise SimulationError(
+                        f"engine exceeded {max_events} events waiting for predicate"
+                    )
+        finally:
+            self._running = False

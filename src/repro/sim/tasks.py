@@ -348,6 +348,9 @@ class Scheduler:
     def _advance(self, task: Task, value: Any, exc: Optional[BaseException]) -> None:
         task._resume_event = None
         task.state = TaskState.RUNNING
+        tracer = self.engine.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.count("sched.context_switches")
         try:
             if exc is not None:
                 yielded = task.gen.throw(exc)

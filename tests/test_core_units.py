@@ -10,7 +10,7 @@ from repro.core import compression
 from repro.core.connection import ConnectionId, ConnectionInfo, ConnectionTable
 from repro.core.imagefile import RestartPlan, conn_key
 from repro.core.pidvirt import PidTable
-from repro.core.stats import CheckpointRecord, StageClock, aggregate_stages
+from repro.core.stats import CKPT_STAGES, CheckpointRecord, StageClock, aggregate_stages
 from repro.kernel.memory import PROFILES
 
 
@@ -164,13 +164,36 @@ def test_property_pidtable_translation_consistent(pairs):
 # ----------------------------------------------------------------------
 
 def test_stage_clock_accumulates():
-    clock = StageClock(t_start=0.0)
-    clock.begin(1.0)
-    clock.end(3.0, "write")
-    clock.begin(3.0)
-    clock.end(3.5, "write")
+    from repro.obs import Tracer
+
+    t = {"now": 0.0}
+    tracer = Tracer(clock=lambda: t["now"])
+    clock = StageClock(tracer, "h/p[1]")
+    t["now"] = 1.0
+    clock.begin("write")
+    t["now"] = 3.0
+    clock.end("write")
+    clock.begin("write")
+    t["now"] = 3.5
+    clock.end("write")
     assert clock.stages["write"] == pytest.approx(2.5)
     assert clock.total == pytest.approx(2.5)
+
+
+def test_stage_clock_spans_match_record(tmp_path):
+    """The Table-1 numbers and the exported trace are the same spans."""
+    from repro.obs import Tracer
+
+    t = {"now": 0.0}
+    tracer = Tracer(clock=lambda: t["now"], enabled=True)
+    clock = StageClock(tracer, "h/p[1]")
+    for i, stage in enumerate(CKPT_STAGES):
+        clock.begin(stage)
+        t["now"] += 0.25 * (i + 1)
+        clock.end(stage)
+    spans = {s["name"]: s["duration"] for s in tracer.spans(cat="ckpt")}
+    assert spans == pytest.approx(clock.stages)
+    assert tracer.open_spans() == 0
 
 
 def test_aggregate_stages_means():

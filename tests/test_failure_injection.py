@@ -43,6 +43,7 @@ def test_restart_without_checkpoint_raises(world):
         comp.restart()
 
 
+@pytest.mark.slow
 def test_restart_with_deleted_image_fails_loudly(world):
     idle(world)
     comp = DmtcpComputation(world)

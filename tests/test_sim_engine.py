@@ -103,6 +103,49 @@ def test_run_until_predicate_raises_on_drain():
         eng.run_until(lambda: False)
 
 
+def test_run_is_not_reentrant():
+    eng = Engine()
+    errors = []
+
+    def nested():
+        try:
+            eng.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    eng.call_at(1.0, nested)
+    eng.run()
+    assert len(errors) == 1
+
+
+def test_run_until_is_not_reentrant():
+    # regression: run_until() used to skip the _running guard entirely,
+    # so a callback could re-enter the scheduling loop and corrupt `now`
+    eng = Engine()
+    errors = []
+
+    def nested():
+        try:
+            eng.run_until(lambda: True)
+        except SimulationError as exc:
+            errors.append(exc)
+
+    eng.call_at(1.0, nested)
+    eng.call_at(2.0, lambda: None)
+    eng.run()
+    assert len(errors) == 1
+    assert eng.now == 2.0
+
+
+def test_run_until_guard_resets_after_error():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.run_until(lambda: False)  # drains with predicate unmet
+    # the guard must be released even when run_until raises
+    eng.call_at(eng.now + 1.0, lambda: None)
+    eng.run_until(lambda: eng.pending == 0)
+
+
 def test_step_returns_false_when_idle():
     eng = Engine()
     assert eng.step() is False
