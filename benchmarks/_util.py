@@ -9,8 +9,11 @@ distributed benches to the paper's exact rank counts (slower host-side).
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import os
 import pathlib
+import time
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -25,6 +28,34 @@ def save_and_print(name: str, text: str) -> None:
     print("\n" + text)
 
 
+def _jsonable(obj):
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return dataclasses.asdict(obj)
+    if isinstance(obj, pathlib.Path):
+        return str(obj)
+    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+
+def save_json(name: str, payload: dict, path: pathlib.Path | None = None) -> pathlib.Path:
+    """Write machine-readable results (simulated metrics + wall-clock).
+
+    Every bench emits one of these next to its ``.txt`` so the perf
+    trajectory is comparable across commits without parsing tables.
+    Dataclass results serialize field-by-field.
+    """
+    out = path or (RESULTS_DIR / f"{name}.json")
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, default=_jsonable, sort_keys=True) + "\n")
+    return out
+
+
 def run_once(benchmark, fn):
     """Run a driver exactly once under pytest-benchmark's clock."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def run_timed(benchmark, fn):
+    """``run_once`` that also reports host wall-clock seconds."""
+    t0 = time.perf_counter()
+    result = run_once(benchmark, fn)
+    return result, time.perf_counter() - t0

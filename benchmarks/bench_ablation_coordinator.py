@@ -9,7 +9,7 @@ as the computation grows.
 from repro.harness.ablations import run_coordinator_load
 from repro.harness.report import table
 
-from benchmarks._util import run_once, save_and_print
+from benchmarks._util import run_timed, save_and_print, save_json
 
 SIZES = [8, 32, 96]
 
@@ -20,7 +20,7 @@ def test_coordinator_not_a_bottleneck(benchmark):
         relayed = [run_coordinator_load(n, relay=True) for n in SIZES]
         return central, relayed
 
-    central, relayed = run_once(benchmark, run_all)
+    (central, relayed), wall = run_timed(benchmark, run_all)
     rows = central + relayed
     text = table(
         ["mode", "processes", "ckpt_s", "root_barrier_msgs", "coord_cpu_s"],
@@ -33,6 +33,10 @@ def test_coordinator_not_a_bottleneck(benchmark):
         "distributed combining-tree barriers)",
     )
     save_and_print("ablation_coordinator", text)
+    save_json(
+        "ablation_coordinator",
+        {"central": central, "relayed": relayed, "wall_clock_s": wall},
+    )
 
     # central barrier traffic is linear in process count...
     per_proc = [r.barrier_messages / r.processes for r in central]

@@ -11,7 +11,7 @@ from repro.harness.experiment import build_world
 from repro.harness.fig4 import register_fig4
 from repro.harness.report import table
 
-from benchmarks._util import run_once, save_and_print
+from benchmarks._util import run_timed, save_and_print, save_json
 
 
 def _run():
@@ -32,7 +32,7 @@ def _run():
 
 
 def test_forked_checkpointing(benchmark):
-    normal, forked = run_once(benchmark, _run)
+    (normal, forked), wall = run_timed(benchmark, _run)
     text = table(
         ["mode", "visible_ckpt_s", "write_stage_s"],
         [
@@ -42,6 +42,20 @@ def test_forked_checkpointing(benchmark):
         title="Forked checkpointing ablation (NAS/MG, 8 nodes; paper: ~2 s -> ~0.2 s)",
     )
     save_and_print("ablation_forked", text)
+    save_json(
+        "ablation_forked",
+        {
+            "normal": {
+                "visible_ckpt_s": normal.duration,
+                "write_stage_s": normal.records[0].stages["write"],
+            },
+            "forked": {
+                "visible_ckpt_s": forked.duration,
+                "write_stage_s": forked.records[0].stages["write"],
+            },
+            "wall_clock_s": wall,
+        },
+    )
 
     # an order-of-magnitude drop in visible checkpoint time
     assert forked.duration < normal.duration / 3

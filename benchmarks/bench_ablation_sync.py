@@ -10,13 +10,13 @@ from repro.harness.ablations import run_sync_ablation
 from repro.harness.experiment import mean_std
 from repro.harness.report import table
 
-from benchmarks._util import run_once, save_and_print
+from benchmarks._util import run_timed, save_and_print, save_json
 
 SEEDS = [0, 1, 2]
 
 
 def test_sync_after_checkpoint(benchmark):
-    results = run_once(
+    results, wall = run_timed(
         benchmark, lambda: [run_sync_ablation(seed=s) for s in SEEDS]
     )
     extras = [r.sync_extra_s for r in results]
@@ -28,6 +28,15 @@ def test_sync_after_checkpoint(benchmark):
         "(paper: 0.79 +/- 0.24)",
     )
     save_and_print("ablation_sync", text)
+    save_json(
+        "ablation_sync",
+        {
+            "seeds": dict(zip(map(str, SEEDS), results)),
+            "mean_sync_extra_s": mean,
+            "std_sync_extra_s": std,
+            "wall_clock_s": wall,
+        },
+    )
 
     # sync adds a visible but sub-checkpoint-scale cost
     assert all(e > 0.05 for e in extras), extras

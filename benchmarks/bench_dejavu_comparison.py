@@ -12,11 +12,11 @@ substrate: the same Chombo-like stencil under (a) no checkpointer,
 from repro.harness.ablations import run_dejavu_comparison
 from repro.harness.report import table
 
-from benchmarks._util import run_once, save_and_print
+from benchmarks._util import run_timed, save_and_print, save_json
 
 
 def test_dejavu_runtime_overhead(benchmark):
-    r = run_once(benchmark, lambda: run_dejavu_comparison(iters=20, ranks=8))
+    r, wall = run_timed(benchmark, lambda: run_dejavu_comparison(iters=20, ranks=8))
     text = table(
         ["system", "runtime_s", "overhead"],
         [
@@ -28,6 +28,7 @@ def test_dejavu_runtime_overhead(benchmark):
         "(paper cites DejaVu ~45%, DMTCP ~0%)",
     )
     save_and_print("dejavu_comparison", text)
+    save_json("dejavu_comparison", {"comparison": r, "wall_clock_s": wall})
 
     # DejaVu pays tens of percent between checkpoints; DMTCP pays ~nothing
     assert 0.15 < r.dejavu_overhead < 0.9

@@ -5,11 +5,11 @@ from repro.apps.profiles import APP_PROFILES
 from repro.harness.fig3 import run_fig3
 from repro.harness.report import table
 
-from benchmarks._util import run_once, save_and_print
+from benchmarks._util import run_timed, save_and_print, save_json
 
 
 def test_fig3_desktop_applications(benchmark):
-    rows = run_once(benchmark, lambda: run_fig3(seed=0))
+    rows, wall = run_timed(benchmark, lambda: run_fig3(seed=0))
     text = table(
         ["app", "ckpt_s", "restart_s", "size_MB(gz)", "size_MB(raw)", "procs"],
         [
@@ -19,6 +19,7 @@ def test_fig3_desktop_applications(benchmark):
         title="Figure 3 -- desktop applications (1 node, compression on)",
     )
     save_and_print("fig3_shell_apps", text)
+    save_json("fig3_shell_apps", {"apps": rows, "wall_clock_s": wall})
 
     by_app = {r.app: r for r in rows}
     assert len(rows) == len(APP_PROFILES) == 21

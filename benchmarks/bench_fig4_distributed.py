@@ -7,20 +7,22 @@ import pytest
 from repro.harness.fig4 import FIG4_APPS, run_fig4_app
 from repro.harness.report import table
 
-from benchmarks._util import full_scale, run_once, save_and_print
+from benchmarks._util import full_scale, run_timed, save_and_print, save_json
 
 #: Collected across the parametrized runs, rendered by the final test.
 _ROWS: dict[tuple[str, bool], object] = {}
+_WALL: dict[str, float] = {}
 
 
 @pytest.mark.parametrize("label", list(FIG4_APPS))
 @pytest.mark.parametrize("compressed", [False, True], ids=["raw", "gz"])
 def test_fig4_app(benchmark, label, compressed):
-    result = run_once(
+    result, wall = run_timed(
         benchmark,
         lambda: run_fig4_app(label, compressed, full_scale=full_scale()),
     )
     _ROWS[(label, compressed)] = result
+    _WALL[f"{label}/{'gz' if compressed else 'raw'}"] = wall
     # universal shapes per app
     assert result.checkpoint_s > 0 and result.restart_s > 0
     assert result.aggregate_stored_mb <= result.aggregate_image_mb + 1e-6
@@ -42,6 +44,16 @@ def test_fig4_summary_shapes(benchmark):
         title="Figure 4 -- distributed applications (32 nodes)",
     )
     save_and_print("fig4_distributed", text)
+    save_json(
+        "fig4_distributed",
+        {
+            "apps": {
+                f"{label}/{'gz' if comp else 'raw'}": r
+                for (label, comp), r in sorted(_ROWS.items())
+            },
+            "wall_clock_s": _WALL,
+        },
+    )
 
     def row(label, comp):
         return _ROWS[(label, comp)]

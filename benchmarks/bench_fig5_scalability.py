@@ -7,12 +7,13 @@ import pytest
 from repro.harness.fig5 import run_fig5_point
 from repro.harness.report import table
 
-from benchmarks._util import full_scale, run_once, save_and_print
+from benchmarks._util import full_scale, run_timed, save_and_print, save_json
 
 POINTS_FULL = [16, 32, 48, 64, 80, 96, 112, 128]
 POINTS_LIGHT = [16, 48, 96, 128]
 
 _ROWS: dict[tuple[str, int], object] = {}
+_WALL: dict[str, float] = {}
 
 
 def _points():
@@ -22,8 +23,9 @@ def _points():
 @pytest.mark.parametrize("storage", ["local", "san"])
 @pytest.mark.parametrize("nprocs", POINTS_LIGHT)
 def test_fig5_point(benchmark, storage, nprocs):
-    point = run_once(benchmark, lambda: run_fig5_point(nprocs, storage=storage))
+    point, wall = run_timed(benchmark, lambda: run_fig5_point(nprocs, storage=storage))
     _ROWS[(storage, nprocs)] = point
+    _WALL[f"{storage}/{nprocs}"] = wall
     assert point.total_processes > point.compute_processes  # + managers
     assert point.checkpoint_s > 0 and point.restart_s > 0
 
@@ -42,6 +44,13 @@ def test_fig5_summary_shapes(benchmark):
         title="Figure 5 -- ParGeant4 scalability (MPICH2, compression on)",
     )
     save_and_print("fig5_scalability", text)
+    save_json(
+        "fig5_scalability",
+        {
+            "points": {f"{s}/{n}": p for (s, n), p in sorted(_ROWS.items())},
+            "wall_clock_s": _WALL,
+        },
+    )
 
     local = [p for (s, _n), p in sorted(_ROWS.items()) if s == "local"]
     san = [p for (s, _n), p in sorted(_ROWS.items()) if s == "san"]

@@ -6,11 +6,12 @@ import pytest
 from repro.harness.fig6 import run_fig6_point
 from repro.harness.report import table
 
-from benchmarks._util import full_scale, run_once, save_and_print
+from benchmarks._util import full_scale, run_timed, save_and_print, save_json
 
 POINTS_GB = [2, 8, 16, 32, 48, 64]
 
 _ROWS: dict[float, object] = {}
+_WALL: dict[str, float] = {}
 
 
 def _ranks():
@@ -21,10 +22,11 @@ def _ranks():
 
 @pytest.mark.parametrize("total_gb", POINTS_GB)
 def test_fig6_point(benchmark, total_gb):
-    point = run_once(
+    point, wall = run_timed(
         benchmark, lambda: run_fig6_point(float(total_gb), ranks=_ranks())
     )
     _ROWS[total_gb] = point
+    _WALL[str(total_gb)] = wall
     assert point.checkpoint_s > 0 and point.restart_s > 0
 
 
@@ -41,6 +43,13 @@ def test_fig6_summary_shapes(benchmark):
         title="Figure 6 -- time vs total memory (no compression, local disk)",
     )
     save_and_print("fig6_memory", text)
+    save_json(
+        "fig6_memory",
+        {
+            "points": {str(gb): p for gb, p in sorted(_ROWS.items())},
+            "wall_clock_s": _WALL,
+        },
+    )
 
     points = [p for _gb, p in sorted(_ROWS.items())]
     # time grows monotonically (and roughly linearly) with memory

@@ -6,16 +6,18 @@ import pytest
 from repro.harness.report import table
 from repro.harness.table1 import PAPER_TABLE1A, PAPER_TABLE1B, run_table1
 
-from benchmarks._util import run_once, save_and_print
+from benchmarks._util import run_timed, save_and_print, save_json
 
 _RESULTS: dict[str, object] = {}
+_WALL: dict[str, float] = {}
 
 
 @pytest.mark.parametrize("mode", ["uncompressed", "compressed", "forked"])
 def test_table1_mode(benchmark, mode):
     # the paper's Table 1 setup: NAS/MG, OpenMPI, 8 nodes (1 rank/node)
-    result = run_once(benchmark, lambda: run_table1(mode, n_nodes=8, ranks=8))
+    result, wall = run_timed(benchmark, lambda: run_table1(mode, n_nodes=8, ranks=8))
     _RESULTS[mode] = result
+    _WALL[mode] = wall
     assert result.ckpt_total > 0
 
 
@@ -45,6 +47,13 @@ def test_table1_summary_shapes(benchmark):
                 title="Table 1b -- restart stages")
     )
     save_and_print("table1_breakdown", text)
+    save_json(
+        "table1_breakdown",
+        {
+            "modes": {m: _RESULTS[m] for m in _RESULTS},
+            "wall_clock_s": _WALL,
+        },
+    )
 
     un, gz, fk = (_RESULTS[m] for m in ("uncompressed", "compressed", "forked"))
     # 1a shapes: write dominates; compression multiplies the write stage;

@@ -138,6 +138,14 @@ class DmtcpSpec:
     checkpoint_dir: str = "/tmp/dmtcp"
     #: Whether `gzip` compression is enabled by default (paper default: yes).
     compression_default: bool = True
+    #: Incremental checkpointing (``DMTCP_INCREMENTAL=1``): maximum number
+    #: of delta images chained to one full base before the next checkpoint
+    #: falls back to a full image (bounds restart-chain replay cost).
+    incremental_max_chain: int = 8
+    #: Incremental checkpointing: if the dirty ratio of the address space
+    #: exceeds this, a delta would barely save anything -- write a full
+    #: image and restart the chain instead.
+    incremental_dirty_threshold: float = 0.9
 
 
 @dataclass(frozen=True)

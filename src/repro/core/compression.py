@@ -18,6 +18,7 @@ for reproducing the paper's numbers:
 from __future__ import annotations
 
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -44,6 +45,7 @@ def measured_ratio(profile_name: str) -> float:
     return len(compressed) / len(sample)
 
 
+@lru_cache(maxsize=None)
 def speed_factor(profile_name: str) -> float:
     """How much faster than worst-case gzip runs on this content.
 
@@ -75,11 +77,19 @@ def estimate(
     regions: list[tuple[int, str]],
     cpu: CpuSpec,
     enabled: bool = True,
+    nworkers: int = 1,
 ) -> CompressionEstimate:
     """Estimate compression of ``[(size_bytes, profile_name), ...]``.
 
     With ``enabled=False`` the output equals the input and only a memcpy
     cost is charged (MTCP still streams the image through a buffer).
+
+    ``nworkers > 1`` models parallel gzip: each region is an independent
+    stream, assigned to the least-loaded of ``nworkers`` cores
+    (deterministic LPT schedule), and the charged time is the critical
+    path rather than the serial sum.  Decompression parallelizes the
+    same way, so the serial ``gunzip_speedup`` ratio carries over.  The
+    memcpy path is memory-bandwidth-bound and does not benefit.
     """
     total_in = sum(size for size, _ in regions)
     if not enabled:
@@ -87,11 +97,85 @@ def estimate(
         return CompressionEstimate(total_in, total_in, memcpy, memcpy)
     total_out = 0.0
     c_seconds = 0.0
+    stream_seconds = []
     for size, profile_name in regions:
         total_out += size * measured_ratio(profile_name)
-        c_seconds += size / (cpu.gzip_bps * speed_factor(profile_name))
+        t = size / (cpu.gzip_bps * speed_factor(profile_name))
+        c_seconds += t
+        stream_seconds.append(t)
+    if nworkers > 1 and len(stream_seconds) > 1:
+        c_seconds = _critical_path(stream_seconds, nworkers)
     d_seconds = c_seconds / cpu.gunzip_speedup
     return CompressionEstimate(total_in, int(total_out), c_seconds, d_seconds)
+
+
+def _critical_path(stream_seconds: list[float], nworkers: int) -> float:
+    """Makespan of an LPT schedule of the streams over ``nworkers`` cores."""
+    loads = [0.0] * min(nworkers, len(stream_seconds))
+    for t in sorted(stream_seconds, reverse=True):
+        i = min(range(len(loads)), key=loads.__getitem__)
+        loads[i] += t
+    return max(loads)
+
+
+class EstimateCache:
+    """Memo for :func:`estimate`, keyed on the frozen region multiset.
+
+    The checkpoint hot path computes the same estimate three times per
+    checkpoint per process (build, write, restore) over an unchanged
+    region table; memoizing it is a pure wall-clock win.  Keys are the
+    *multiset* of ``(size, profile)`` pairs (order cannot change the
+    physics) plus the cpu spec, the enabled flag, and the worker count.
+    Bounded LRU so long sweeps over many worlds cannot grow it forever.
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._store: OrderedDict = OrderedDict()
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self,
+        regions: list[tuple[int, str]],
+        cpu: CpuSpec,
+        enabled: bool = True,
+        nworkers: int = 1,
+    ) -> CompressionEstimate:
+        key = (tuple(sorted(regions)), cpu, enabled, nworkers)
+        est = self._store.get(key)
+        if est is not None:
+            self.hits += 1
+            self._store.move_to_end(key)
+            return est
+        self.misses += 1
+        # compute over the caller's region order: for nworkers == 1 the
+        # serial sum is then bit-identical to an uncached call
+        est = estimate(regions, cpu, enabled=enabled, nworkers=nworkers)
+        self._store[key] = est
+        if len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+        return est
+
+
+#: Process-wide memo shared by every world in this interpreter.
+ESTIMATE_CACHE = EstimateCache()
+
+
+def estimate_cached(
+    regions: list[tuple[int, str]],
+    cpu: CpuSpec,
+    enabled: bool = True,
+    nworkers: int = 1,
+) -> CompressionEstimate:
+    """Memoized :func:`estimate` (see :class:`EstimateCache`)."""
+    return ESTIMATE_CACHE.get(regions, cpu, enabled=enabled, nworkers=nworkers)
 
 
 def profile_report() -> dict[str, dict[str, float]]:
@@ -103,9 +187,12 @@ def profile_report() -> dict[str, dict[str, float]]:
 
 
 __all__ = [
+    "ESTIMATE_CACHE",
     "CompressionEstimate",
     "ContentProfile",
+    "EstimateCache",
     "estimate",
+    "estimate_cached",
     "measured_ratio",
     "profile_report",
     "speed_factor",

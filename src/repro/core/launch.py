@@ -51,6 +51,7 @@ class DmtcpComputation:
         port: int = 7779,
         ckpt_dir: str = "/tmp/dmtcp",
         compression: bool = True,
+        incremental: bool = False,
         interval: float = 0.0,
         relay: bool = False,
     ):
@@ -59,6 +60,7 @@ class DmtcpComputation:
         self.port = port
         self.ckpt_dir = ckpt_dir
         self.compression = compression
+        self.incremental = incremental
         self.relay = relay
         self.state = CoordinatorState(port=port, interval=interval, tracer=world.tracer)
         #: connection-table stash across exec (the hijack library persists
@@ -104,6 +106,8 @@ class DmtcpComputation:
             "DMTCP_CKPT_DIR": self.ckpt_dir,
             "DMTCP_GZIP": "1" if self.compression else "0",
         }
+        if self.incremental:
+            env["DMTCP_INCREMENTAL"] = "1"
         if self.relay:
             env["DMTCP_RELAY_PORT"] = str(self.relay_port)
         return env
@@ -248,7 +252,9 @@ class DmtcpComputation:
         storage or an scp before restart would)."""
         src_ns = self.world.node_state(src_host)
         dst_ns = self.world.node_state(dst_host)
-        for path in paths:
+        pending = list(paths)
+        while pending:
+            path = pending.pop()
             src_mount = src_ns.mounts.resolve(path)
             file = src_mount.namespace.lookup(path)
             if file is None:
@@ -259,6 +265,11 @@ class DmtcpComputation:
                 copy.size = file.size
                 copy.payload = file.payload
                 copy.last_write_time = file.last_write_time
+            # a delta image is useless without its ancestors: follow the
+            # parent chain so the whole lineage travels with the leaf
+            parent = getattr(file.payload, "parent_image", None)
+            if parent is not None:
+                pending.append(parent)
 
     def run_command(self, cmd: str, arg: str = "") -> None:
         """Run a generic ``dmtcp command <cmd>`` client to completion."""

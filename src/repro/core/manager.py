@@ -196,7 +196,7 @@ def run_checkpoint(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: FrameAssembl
 
     clock.begin("write")
     image = mtcp.build_image(runtime, ckpt_id, drained)
-    image_path = mtcp.image_path(runtime)
+    image_path = mtcp.image_path(runtime, ckpt_id)
     forked = bool(message.get("forked"))
     if forked:
         # forked checkpointing: a COW child compresses and writes in the
@@ -209,6 +209,15 @@ def run_checkpoint(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: FrameAssembl
     else:
         yield from mtcp.write_image(sys, runtime, image, image_path)
     yield from barrier(sys, bchan[0], bchan[1], P.BARRIER_CHECKPOINTED)
+    if mtcp.incremental_enabled(process.env):
+        # every process has finished writing (Barrier 5 released) and user
+        # threads stay suspended until stage 7, so clearing dirty bits --
+        # including on regions shared with sibling processes -- cannot race
+        # with a write that the image missed
+        for region in process.address_space.regions:
+            region.clean()
+        runtime.last_image_path = image_path
+        runtime.chain_depth = image.chain_depth
     clock.end("write")
 
     # ---- stage 6: refill kernel buffers ---------------------------------

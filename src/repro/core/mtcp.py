@@ -30,6 +30,38 @@ if TYPE_CHECKING:  # pragma: no cover
 METADATA_BYTES = 64 * 1024
 
 
+def incremental_enabled(env: dict) -> bool:
+    """Is the incremental checkpoint pipeline on for this process?"""
+    return env.get("DMTCP_INCREMENTAL", "0") == "1"
+
+
+def gzip_workers(runtime: "DmtcpRuntime") -> int:
+    """Parallel gzip stream count for this process's images.
+
+    ``DMTCP_GZIP_WORKERS`` overrides explicitly; otherwise the incremental
+    pipeline uses every core of the node (per :class:`CpuSpec`) and the
+    classic pipeline keeps the paper's single serial gzip.
+    """
+    raw = runtime.process.env.get("DMTCP_GZIP_WORKERS")
+    if raw is not None:
+        return max(int(raw), 1)
+    if incremental_enabled(runtime.process.env):
+        return max(runtime.world.spec.cpu.cores, 1)
+    return 1
+
+
+def _estimate(world, regions: list[tuple[int, str]], enabled: bool, nworkers: int):
+    """Memoized compression estimate, counting cache hits for the tracer."""
+    tracer = world.tracer
+    before = compression.ESTIMATE_CACHE.hits
+    est = compression.estimate_cached(
+        regions, world.spec.cpu, enabled=enabled, nworkers=nworkers
+    )
+    if tracer.enabled and compression.ESTIMATE_CACHE.hits > before:
+        tracer.count("mtcp.estimate_cache_hits")
+    return est
+
+
 def endpoint_dead(desc) -> bool:
     """Has the remote side of this endpoint already gone away?"""
     return (
@@ -41,25 +73,81 @@ def endpoint_dead(desc) -> bool:
     )
 
 
-def image_path(runtime: "DmtcpRuntime") -> str:
+def image_path(runtime: "DmtcpRuntime", ckpt_id: int = 0) -> str:
     """Image filename, unique cluster-wide.
 
     Real DMTCP names images ``ckpt_<program>_<UniquePid>.dmtcp`` where
     UniquePid is (hostid, pid, timestamp) -- vital when the checkpoint
     directory is shared storage, where same-pid processes on different
     hosts would otherwise overwrite each other's images.
+
+    With the incremental pipeline the name additionally carries the
+    checkpoint id: a delta image chains to its parent *file*, so
+    successive checkpoints must not overwrite each other.
     """
     ckpt_dir = runtime.process.env.get("DMTCP_CKPT_DIR", "/tmp/dmtcp")
     host = runtime.process.node.hostname
     stamp = f"{runtime.process.start_time:.6f}".replace(".", "")
-    return f"{ckpt_dir}/ckpt_{runtime.process.program}_{host}-{runtime.vpid}-{stamp}.dmtcp"
+    suffix = f"-c{ckpt_id}" if incremental_enabled(runtime.process.env) else ""
+    return (
+        f"{ckpt_dir}/ckpt_{runtime.process.program}_"
+        f"{host}-{runtime.vpid}-{stamp}{suffix}.dmtcp"
+    )
+
+
+def _page_round(nbytes: float, page_bytes: int) -> int:
+    """Round a byte count up to whole pages (what MTCP actually writes)."""
+    return -(-int(nbytes) // page_bytes) * page_bytes
+
+
+def plan_delta(runtime: "DmtcpRuntime") -> bool:
+    """Should this checkpoint be a delta image chained to the last one?
+
+    Policy (config: :class:`DmtcpSpec`): incremental must be enabled and a
+    parent image must exist; the chain must be shorter than
+    ``incremental_max_chain``; and the address-space dirty ratio must not
+    exceed ``incremental_dirty_threshold`` (past that a delta saves
+    nothing and only lengthens restart replay).
+    """
+    if not incremental_enabled(runtime.process.env):
+        return False
+    if runtime.last_image_path is None:
+        return False
+    spec = runtime.world.spec.dmtcp
+    if runtime.chain_depth >= spec.incremental_max_chain:
+        return False
+    space = runtime.process.address_space
+    total = space.total_bytes
+    dirty = sum(r.size * r.dirty_fraction for r in space.regions)
+    return total > 0 and dirty / total <= spec.incremental_dirty_threshold
 
 
 def build_image(runtime: "DmtcpRuntime", ckpt_id: int, drained: dict[int, list]) -> CheckpointImage:
-    """Snapshot the process: memory map, threads, FD table, connections."""
+    """Snapshot the process: memory map, threads, FD table, connections.
+
+    With the incremental pipeline (``DMTCP_INCREMENTAL=1``) and a usable
+    parent image, the image is a *delta*: every region row keeps its full
+    mapping size (restart rebuilds the address space from it) but the
+    payload -- and therefore the gzip and disk cost -- covers only the
+    pages dirtied since the parent image, page-rounded.
+    """
     process = runtime.process
+    delta = plan_delta(runtime)
+    page_bytes = runtime.world.spec.os.page_bytes
     regions = [
-        RegionImage(r.kind, r.size, r.profile.name, r.path, r.shared)
+        RegionImage(
+            r.kind,
+            r.size,
+            r.profile.name,
+            r.path,
+            r.shared,
+            dirty_bytes=(
+                min(_page_round(r.size * r.dirty_fraction, page_bytes), r.size)
+                if delta
+                else None
+            ),
+            region_id=r.region_id,
+        )
         for r in process.address_space.regions
     ]
     threads = [
@@ -149,12 +237,15 @@ def build_image(runtime: "DmtcpRuntime", ckpt_id: int, drained: dict[int, list])
 
     image.app_state = capture_app_state(process)
     compressed = runtime.process.env.get("DMTCP_GZIP", "1") == "1"
-    est = compression.estimate(
-        [(r.size, r.profile) for r in regions],
-        runtime.world.spec.cpu,
-        enabled=compressed,
-    )
     image.compressed = compressed
+    image.delta = delta
+    if delta:
+        image.parent_image = runtime.last_image_path
+        image.chain_depth = runtime.chain_depth + 1
+    image.gzip_workers = gzip_workers(runtime)
+    est = _estimate(
+        runtime.world, image.payload_regions(), compressed, image.gzip_workers
+    )
     image.image_bytes = est.input_bytes + METADATA_BYTES
     image.stored_bytes = est.output_bytes + METADATA_BYTES
     return image
@@ -171,11 +262,9 @@ def write_image(sys: Sys, runtime: "DmtcpRuntime", image: CheckpointImage, path:
     world = runtime.world
     tracer = world.tracer
     track = f"{image.hostname}/mtcp[{image.vpid}]"
-    tracer.begin(track, "mtcp.write", cat="mtcp", path=path)
-    est = compression.estimate(
-        [(r.size, r.profile) for r in image.regions],
-        runtime.world.spec.cpu,
-        enabled=image.compressed,
+    tracer.begin(track, "mtcp.write", cat="mtcp", path=path, delta=image.delta)
+    est = _estimate(
+        world, image.payload_regions(), image.compressed, image.gzip_workers
     )
     if est.compress_seconds > 0:
         yield from sys.cpu(est.compress_seconds)
@@ -189,11 +278,23 @@ def write_image(sys: Sys, runtime: "DmtcpRuntime", image: CheckpointImage, path:
         tracer.count("mtcp.image_bytes", image.image_bytes)
         tracer.count("mtcp.stored_bytes", image.stored_bytes)
         tracer.count("mtcp.pages_written", -(-image.stored_bytes // page_bytes))
+        if image.delta:
+            tracer.count("mtcp.delta_images")
+            full_pages = sum(
+                -(-r.size // page_bytes) for r in image.regions
+            )
+            written_pages = sum(
+                -(-payload // page_bytes)
+                for payload, _profile in image.payload_regions()
+            )
+            tracer.count("mtcp.pages_skipped", full_pages - written_pages)
         tracer.instant(
             track,
             "mtcp.compression",
             cat="mtcp",
             compressed=image.compressed,
+            delta=image.delta,
+            chain_depth=image.chain_depth,
             image_bytes=image.image_bytes,
             stored_bytes=image.stored_bytes,
             ratio=round(image.stored_bytes / max(image.image_bytes, 1), 6),
@@ -201,7 +302,23 @@ def write_image(sys: Sys, runtime: "DmtcpRuntime", image: CheckpointImage, path:
 
 
 def read_image(sys: Sys, path: str):
-    """Restart step 0: pull the image file back off storage."""
+    """Restart step 0: pull the image file back off storage.
+
+    A delta image names its parent via ``parent_image``; the whole chain
+    is read (honest I/O cost per file) and attached to the returned leaf
+    image as ``image.chain``, base first, for restore_memory to replay.
+    """
+    leaf = yield from _read_one_image(sys, path)
+    chain = [leaf]
+    node = leaf
+    while node.parent_image is not None:
+        node = yield from _read_one_image(sys, node.parent_image)
+        chain.append(node)
+    leaf.chain = list(reversed(chain))
+    return leaf
+
+
+def _read_one_image(sys: Sys, path: str):
     fd = yield from sys.open(path, "r")
     nbytes, payload = yield from sys.read(fd, 1 << 62)
     yield from sys.close(fd)
@@ -218,16 +335,23 @@ def restore_memory(sys: Sys, world, process, image: CheckpointImage):
     (Section 4.5: recreate the file if missing and writable, overwrite if
     writable, else map file contents as-is).
     """
-    est = compression.estimate(
-        [(r.size, r.profile) for r in image.regions],
-        world.spec.cpu,
-        enabled=image.compressed,
-    )
+    # Replay the image chain, base first: the full base instantiates every
+    # page, each delta gunzips and overwrites only its dirty pages.  The
+    # charged cost is therefore honest about the extra replay work an
+    # incremental restart does on top of a full one.
+    chain = image.chain or [image]
+    decompress = 0.0
+    instantiate_bytes = 0
+    for img in chain:
+        nworkers = min(max(img.gzip_workers, 1), max(world.spec.cpu.cores, 1))
+        est = _estimate(world, img.payload_regions(), img.compressed, nworkers)
+        decompress += est.decompress_seconds
+        instantiate_bytes += est.input_bytes
     # gunzip plus page instantiation: copying image bytes into fresh
     # mappings and faulting them in (Table 1b's dominant restore cost)
-    instantiate = est.input_bytes / world.spec.os.page_restore_bps
-    if est.decompress_seconds + instantiate > 0:
-        yield from sys.cpu(est.decompress_seconds + instantiate)
+    instantiate = instantiate_bytes / world.spec.os.page_restore_bps
+    if decompress + instantiate > 0:
+        yield from sys.cpu(decompress + instantiate)
     from repro.kernel.memory import AddressSpace, PROFILES
 
     space = AddressSpace(world.spec.os.page_bytes)
@@ -236,9 +360,13 @@ def restore_memory(sys: Sys, world, process, image: CheckpointImage):
         if region.shared and region.path is not None:
             yield from _restore_shared_region(sys, process, region)
         else:
-            space.map_region(
+            restored = space.map_region(
                 region.size, region.kind, PROFILES[region.profile], path=region.path
             )
+            if region.region_id is not None:
+                # memory comes back at its original addresses (Section 4.5),
+                # so region handles held by the app stay valid
+                restored.region_id = region.region_id
 
 
 def _restore_shared_region(sys: Sys, process, region: RegionImage):
@@ -249,9 +377,11 @@ def _restore_shared_region(sys: Sys, process, region: RegionImage):
         fd = yield from sys.open(region.path, "w")
         yield from sys.write(fd, region.size)
         yield from sys.close(fd)
-    yield from sys.mmap(
+    rid = yield from sys.mmap(
         region.size, region.profile, shared=True, path=region.path, kind="shm"
     )
+    if region.region_id is not None:
+        process.address_space.find(rid).region_id = region.region_id
 
 
 def adopt_threads(world, process, image: CheckpointImage) -> list:

@@ -5,16 +5,18 @@
 * forked checkpointing (Section 5.3: ~0.2 s visible checkpoint);
 * coordinator barrier load (Section 5.4/6: "the single checkpoint
   coordinator ... is not a bottleneck");
-* DejaVu comparison (Section 2: ~45% runtime overhead vs ~0 for DMTCP).
+* DejaVu comparison (Section 2: ~45% runtime overhead vs ~0 for DMTCP);
+* incremental pipeline (DMTCP_INCREMENTAL=1): full vs delta-chain
+  checkpoints over the Figure 3 desktop suite.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.baselines.dejavu import DejavuComputation
 from repro.core.launch import DmtcpComputation
-from repro.harness.experiment import build_world
+from repro.harness.experiment import MB, build_desktop, build_world
 from repro.harness.fig4 import register_fig4
 
 
@@ -136,3 +138,118 @@ def run_dejavu_comparison(seed: int = 0, iters: int = 20, ranks: int = 8) -> Dej
         dejavu_overhead=dejavu / plain - 1.0,
         dmtcp_overhead=dmtcp / plain - 1.0,
     )
+
+
+@dataclass
+class IncrementalAblation:
+    """Full vs incremental (DMTCP_INCREMENTAL=1) pipeline for one app.
+
+    ``full_*`` figures come from the paper's default pipeline (every
+    checkpoint writes the whole address space); ``incr_*`` from the
+    delta-chain pipeline over the same checkpoint schedule.  The final
+    incremental checkpoint kills the computation and the restart replays
+    the base+delta chain, so ``restored_total_mb`` vs
+    ``original_total_mb`` verifies the round trip.
+    """
+
+    app: str
+    checkpoints: int
+    full_ckpt_s: list[float] = field(default_factory=list)
+    incr_ckpt_s: list[float] = field(default_factory=list)
+    full_stored_mb: float = 0.0
+    incr_stored_mb: float = 0.0
+    delta_images: int = 0
+    pages_skipped: int = 0
+    estimate_cache_hits: int = 0
+    restart_s: float = 0.0
+    original_total_mb: float = 0.0
+    restored_total_mb: float = 0.0
+
+    @property
+    def steady_speedup(self) -> float:
+        """Full / incremental checkpoint time, after the base image."""
+        full = sum(self.full_ckpt_s[1:]) or sum(self.full_ckpt_s)
+        incr = sum(self.incr_ckpt_s[1:]) or sum(self.incr_ckpt_s)
+        return full / incr if incr else 1.0
+
+    @property
+    def bytes_saved_ratio(self) -> float:
+        """1 - incremental/full stored bytes over the whole schedule."""
+        return 1.0 - self.incr_stored_mb / self.full_stored_mb if self.full_stored_mb else 0.0
+
+
+def _hijacked_total_bytes(world) -> int:
+    """Address-space bytes of every checkpointed (hijacked) process."""
+    from repro.kernel.world import HIJACK_ENV
+
+    return sum(
+        p.address_space.total_bytes
+        for p in world.live_processes()
+        if p.env.get(HIJACK_ENV)
+    )
+
+
+def run_incremental_ablation(
+    app: str = "matlab",
+    seed: int = 0,
+    checkpoints: int = 3,
+    warmup_s: float = 3.0,
+) -> IncrementalAblation:
+    """One Figure 3 desktop app, ``checkpoints`` checkpoints per mode.
+
+    The desktop apps dirty little memory between checkpoints (their
+    steady state is computation over an already-built working set), so
+    the workload is well over 50% clean after the base image -- the
+    regime where a delta chain should win on both stored bytes and
+    checkpoint latency.
+    """
+    from repro.apps.shell_apps import program_for
+
+    result = IncrementalAblation(app=app, checkpoints=checkpoints)
+
+    # -- full pipeline (paper default) ---------------------------------
+    world = build_desktop(seed)
+    comp = DmtcpComputation(world)
+    comp.launch("node00", program_for(app))
+    world.engine.run(until=warmup_s)
+    for _ in range(checkpoints):
+        ckpt = comp.checkpoint()
+        result.full_ckpt_s.append(ckpt.duration)
+        result.full_stored_mb += ckpt.total_stored_bytes / MB
+
+    # -- incremental pipeline ------------------------------------------
+    world = build_desktop(seed)
+    world.tracer.enable()
+    comp = DmtcpComputation(world, incremental=True)
+    comp.launch("node00", program_for(app))
+    world.engine.run(until=warmup_s)
+    kill = None
+    for i in range(checkpoints):
+        last = i == checkpoints - 1
+        if last:
+            result.original_total_mb = _hijacked_total_bytes(world) / MB
+        ckpt = comp.checkpoint(kill=last)
+        result.incr_ckpt_s.append(ckpt.duration)
+        result.incr_stored_mb += ckpt.total_stored_bytes / MB
+        if last:
+            kill = ckpt
+    counters = world.tracer.snapshot()
+    result.delta_images = int(counters.get("mtcp.delta_images", 0))
+    result.pages_skipped = int(counters.get("mtcp.pages_skipped", 0))
+    result.estimate_cache_hits = int(counters.get("mtcp.estimate_cache_hits", 0))
+    restart = comp.restart(plan=kill.plan)
+    result.restart_s = restart.duration
+    result.restored_total_mb = _hijacked_total_bytes(world) / MB
+    return result
+
+
+def run_incremental_suite(
+    apps=None, seed: int = 0, checkpoints: int = 3
+) -> list[IncrementalAblation]:
+    """The incremental ablation over a set of Figure 3 apps."""
+    from repro.apps.profiles import APP_PROFILES
+
+    return [
+        run_incremental_ablation(app, seed=seed, checkpoints=checkpoints)
+        for app in (apps or APP_PROFILES)
+    ]

@@ -22,7 +22,7 @@ class Event:
     popped.  ``fired`` and ``cancelled`` are exposed for diagnostics.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired", "engine")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -31,10 +31,14 @@ class Event:
         self.args = args
         self.cancelled = False
         self.fired = False
+        self.engine: Optional["Engine"] = None
 
     def cancel(self) -> None:
         """Mark the event dead; it is skipped when popped."""
-        self.cancelled = True
+        if not self.cancelled and not self.fired:
+            self.cancelled = True
+            if self.engine is not None:
+                self.engine._live -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -59,6 +63,9 @@ class Engine:
         self.now: float = 0.0
         self._heap: list[Event] = []
         self._seq = itertools.count()
+        #: Live (scheduled, not cancelled, not fired) event count, kept in
+        #: step with push/cancel/fire so ``pending`` never scans the heap.
+        self._live: int = 0
         self._running = False
         #: Total events executed; useful for complexity assertions in tests.
         self.events_fired: int = 0
@@ -77,7 +84,9 @@ class Engine:
                 f"cannot schedule event at t={time} before now={self.now}"
             )
         ev = Event(time, next(self._seq), fn, args)
+        ev.engine = self
         heapq.heappush(self._heap, ev)
+        self._live += 1
         return ev
 
     def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
@@ -95,8 +104,8 @@ class Engine:
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live
 
     def peek_time(self) -> Optional[float]:
         """Virtual time of the next live event, or None if idle."""
@@ -119,6 +128,7 @@ class Engine:
         ev = heapq.heappop(self._heap)
         self.now = ev.time
         ev.fired = True
+        self._live -= 1
         self.events_fired += 1
         ev.fn(*ev.args)
         return True

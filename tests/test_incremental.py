@@ -1,0 +1,345 @@
+"""Incremental checkpoint pipeline (DMTCP_INCREMENTAL=1) tests.
+
+Covers the delta-image chain (build, fallback policy, restart replay on a
+different node), the parallel-gzip cost model, the compression-estimate
+cache, and the unchanged behaviour of the default (full-image) pipeline.
+"""
+
+from dataclasses import replace
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.config import CLUSTER_2008, CpuSpec
+from repro.core import compression, mtcp
+from repro.core.launch import DmtcpComputation
+from repro.kernel.world import HIJACK_ENV
+
+
+@pytest.fixture()
+def world():
+    return build_cluster(n_nodes=2, seed=23)
+
+
+def no_failures(world):
+    assert not world.scheduler.failures, [
+        (t.name, e) for t, e in world.scheduler.failures
+    ]
+
+
+def toucher_program(fraction: float = 0.2, mb: int = 8):
+    """An app that dirties ``fraction`` of one numeric region per tick."""
+
+    def main(sys, argv):
+        region = yield from sys.mmap(mb * 2**20, "numeric")
+        for _ in range(2000):
+            yield from sys.sleep(0.05)
+            yield from sys.mem_touch(region, fraction)
+
+    return main
+
+
+def app_process(world):
+    return next(
+        p for p in world.live_processes()
+        if p.env.get(HIJACK_ENV) and p.program == "toucher"
+    )
+
+
+def launch_toucher(world, fraction: float = 0.2, **comp_kwargs):
+    world.register_program("toucher", toucher_program(fraction))
+    comp = DmtcpComputation(world, incremental=True, **comp_kwargs)
+    comp.launch("node00", "toucher")
+    world.engine.run(until=1.0)
+    return comp
+
+
+# ----------------------------------------------------------------------
+# Delta images
+# ----------------------------------------------------------------------
+
+def test_second_checkpoint_is_delta_and_smaller(world):
+    world.tracer.enable()
+    comp = launch_toucher(world)
+    first = comp.checkpoint()
+    world.engine.run(until=world.engine.now + 0.5)
+    second = comp.checkpoint()
+    counters = world.tracer.snapshot()
+    assert counters.get("mtcp.delta_images") == 1
+    assert counters.get("mtcp.pages_skipped", 0) > 0
+    assert second.total_stored_bytes < first.total_stored_bytes
+    # the delta's region table still spans the full address space
+    path = second.plan.images_by_host["node00"][0]
+    ns = world.node_state("node00")
+    image = ns.mounts.resolve(path).namespace.lookup(path).payload
+    assert image.delta and image.chain_depth == 1
+    assert image.parent_image in first.plan.images_by_host["node00"]
+    space = app_process(world).address_space
+    assert sum(r.size for r in image.regions) == space.total_bytes
+    no_failures(world)
+
+
+def test_regions_cleaned_at_barrier_five(world):
+    comp = launch_toucher(world)
+    space = app_process(world).address_space
+    assert any(r.dirty_fraction == 1.0 for r in space.regions)  # born dirty
+    comp.checkpoint()
+    # every region was clean()ed at Barrier 5; the resumed app may have
+    # re-touched at most one 0.2 tick of its anon region since
+    assert all(r.dirty_fraction <= 0.2 for r in space.regions)
+    assert all(
+        r.dirty_fraction == 0.0 for r in space.regions if r.kind != "anon"
+    )
+    no_failures(world)
+
+
+def test_incremental_disabled_keeps_default_pipeline(world):
+    world.tracer.enable()
+    world.register_program("toucher", toucher_program())
+    comp = DmtcpComputation(world)  # incremental defaults off
+    comp.launch("node00", "toucher")
+    world.engine.run(until=1.0)
+    first = comp.checkpoint()
+    second = comp.checkpoint()
+    counters = world.tracer.snapshot()
+    assert counters.get("mtcp.delta_images", 0) == 0
+    path = second.plan.images_by_host["node00"][0]
+    assert "-c" not in path.rsplit("/", 1)[1].replace("ckpt_", "")
+    # successive checkpoints overwrite the same stable filename
+    assert first.plan.images_by_host == second.plan.images_by_host
+    ns = world.node_state("node00")
+    image = ns.mounts.resolve(path).namespace.lookup(path).payload
+    assert not image.delta and image.parent_image is None
+    assert image.gzip_workers == 1
+    no_failures(world)
+
+
+# ----------------------------------------------------------------------
+# Fallback policy
+# ----------------------------------------------------------------------
+
+def test_chain_depth_fallback_writes_full_image():
+    spec = CLUSTER_2008.with_(
+        dmtcp=replace(CLUSTER_2008.dmtcp, incremental_max_chain=1)
+    )
+    world = build_cluster(n_nodes=2, seed=23, spec=spec)
+    world.tracer.enable()
+    comp = launch_toucher(world)
+    for _ in range(3):
+        comp.checkpoint()
+        world.engine.run(until=world.engine.now + 0.2)
+    # full, delta (depth 1), full again (chain at max), so exactly 1 delta
+    assert world.tracer.snapshot().get("mtcp.delta_images") == 1
+    no_failures(world)
+
+
+def test_plan_delta_policy_unit():
+    spec = CLUSTER_2008
+    region = SimpleNamespace(size=1000, dirty_fraction=0.5)
+    runtime = SimpleNamespace(
+        process=SimpleNamespace(
+            env={"DMTCP_INCREMENTAL": "1"},
+            address_space=SimpleNamespace(total_bytes=1000, regions=[region]),
+        ),
+        world=SimpleNamespace(spec=spec),
+        last_image_path="/tmp/dmtcp/base.dmtcp",
+        chain_depth=0,
+    )
+    assert mtcp.plan_delta(runtime)
+    runtime.last_image_path = None  # no parent: must write a base
+    assert not mtcp.plan_delta(runtime)
+    runtime.last_image_path = "/tmp/dmtcp/base.dmtcp"
+    runtime.chain_depth = spec.dmtcp.incremental_max_chain  # chain full
+    assert not mtcp.plan_delta(runtime)
+    runtime.chain_depth = 0
+    region.dirty_fraction = 0.95  # nearly everything dirty: delta useless
+    assert not mtcp.plan_delta(runtime)
+    runtime.process.env = {}  # pipeline off
+    region.dirty_fraction = 0.5
+    assert not mtcp.plan_delta(runtime)
+
+
+# ----------------------------------------------------------------------
+# Restart
+# ----------------------------------------------------------------------
+
+def test_restart_on_different_node_replays_chain(world):
+    comp = launch_toucher(world)
+    comp.checkpoint()  # full base
+    world.engine.run(until=world.engine.now + 0.5)
+    original_bytes = app_process(world).address_space.total_bytes
+    kill = comp.checkpoint(kill=True)  # delta leaf
+    leaf = kill.plan.images_by_host["node00"][0]
+    outcome = comp.restart(plan=kill.plan, placement={"node00": "node01"})
+    assert outcome.records
+    restored = app_process(world)
+    assert restored.node.hostname == "node01"
+    assert restored.address_space.total_bytes == original_bytes
+    # the whole chain travelled to the relocation target
+    ns = world.node_state("node01")
+    image = ns.mounts.resolve(leaf).namespace.lookup(leaf).payload
+    assert image.delta
+    parent = ns.mounts.resolve(image.parent_image).namespace.lookup(image.parent_image)
+    assert parent is not None
+    # the app keeps running on the new node
+    world.engine.run(until=world.engine.now + 1.0)
+    assert restored.alive
+    no_failures(world)
+
+
+def test_restart_resets_chain_so_next_checkpoint_is_full(world):
+    world.tracer.enable()
+    comp = launch_toucher(world)
+    comp.checkpoint()
+    kill = comp.checkpoint(kill=True)  # delta
+    comp.restart(plan=kill.plan)
+    world.engine.run(until=world.engine.now + 0.5)
+    outcome = comp.checkpoint()
+    path = outcome.plan.images_by_host["node00"][0]
+    ns = world.node_state("node00")
+    image = ns.mounts.resolve(path).namespace.lookup(path).payload
+    assert not image.delta and image.chain_depth == 0
+    assert world.tracer.snapshot().get("mtcp.delta_images") == 1  # only the kill
+    no_failures(world)
+
+
+def test_incremental_restart_costs_more_than_base_only():
+    # replaying base + delta must charge strictly more reconstruction
+    # work than restarting the base alone would
+    def run(kill_at):
+        world = build_cluster(n_nodes=2, seed=23)
+        comp = launch_toucher(world)
+        kill = None
+        for i in range(kill_at):
+            kill = comp.checkpoint(kill=(i == kill_at - 1))
+            world.engine.run(until=world.engine.now + 0.3)
+        return comp.restart(plan=kill.plan).duration
+
+    base_only = run(1)
+    with_delta = run(2)
+    assert with_delta > base_only
+
+
+# ----------------------------------------------------------------------
+# Determinism and the full-vs-incremental comparison
+# ----------------------------------------------------------------------
+
+def _stored_sizes(seed: int) -> list[int]:
+    world = build_cluster(n_nodes=2, seed=seed)
+    comp = launch_toucher(world)
+    sizes = []
+    for _ in range(3):
+        sizes.append(comp.checkpoint().total_stored_bytes)
+        world.engine.run(until=world.engine.now + 0.4)
+    no_failures(world)
+    return sizes
+
+
+def test_delta_sizes_deterministic_across_runs():
+    first = _stored_sizes(seed=7)
+    second = _stored_sizes(seed=7)
+    assert first == second  # byte-identical, not merely close
+
+
+def test_incremental_beats_full_on_mostly_clean_workload():
+    # acceptance: >= 50% clean between checkpoints => the delta stores
+    # strictly fewer bytes and finishes in strictly less simulated time
+    def run(incremental):
+        world = build_cluster(n_nodes=2, seed=23)
+        world.register_program("toucher", toucher_program(fraction=0.2))
+        comp = DmtcpComputation(world, incremental=incremental)
+        comp.launch("node00", "toucher")
+        world.engine.run(until=1.0)
+        comp.checkpoint()
+        world.engine.run(until=world.engine.now + 0.5)
+        second = comp.checkpoint()
+        no_failures(world)
+        return second
+
+    full = run(False)
+    incr = run(True)
+    assert incr.total_stored_bytes < full.total_stored_bytes
+    assert incr.duration < full.duration
+
+
+# ----------------------------------------------------------------------
+# Parallel compression model
+# ----------------------------------------------------------------------
+
+REGIONS = [
+    (8 * 2**20, "numeric"),
+    (2 * 2**20, "text"),
+    (4 * 2**20, "code"),
+    (1 * 2**20, "random"),
+]
+
+
+def test_parallel_gzip_charges_critical_path():
+    cpu = CpuSpec(cores=4)
+    serial = compression.estimate(REGIONS, cpu)
+    par = compression.estimate(REGIONS, cpu, nworkers=4)
+    longest = max(
+        size / (cpu.gzip_bps * compression.speed_factor(p)) for size, p in REGIONS
+    )
+    assert par.compress_seconds < serial.compress_seconds
+    assert par.compress_seconds >= longest
+    # byte totals are schedule-independent
+    assert par.input_bytes == serial.input_bytes
+    assert par.output_bytes == serial.output_bytes
+    # decompression parallelizes with the same ratio
+    assert par.decompress_seconds == pytest.approx(
+        par.compress_seconds / cpu.gunzip_speedup
+    )
+
+
+def test_single_worker_and_memcpy_paths_unchanged():
+    cpu = CpuSpec()
+    assert compression.estimate(REGIONS, cpu, nworkers=1) == compression.estimate(
+        REGIONS, cpu
+    )
+    off = compression.estimate(REGIONS, cpu, enabled=False)
+    assert compression.estimate(REGIONS, cpu, enabled=False, nworkers=8) == off
+    assert off.output_bytes == off.input_bytes
+
+
+# ----------------------------------------------------------------------
+# Estimate cache
+# ----------------------------------------------------------------------
+
+def test_estimate_cache_hits_and_exact_values():
+    cache = compression.EstimateCache()
+    cpu = CpuSpec()
+    direct = compression.estimate(REGIONS, cpu)
+    got = cache.get(REGIONS, cpu)
+    assert got == direct  # bit-identical to the uncached computation
+    assert (cache.hits, cache.misses) == (0, 1)
+    assert cache.get(REGIONS, cpu) is got
+    # key is the region *multiset*: order cannot change the physics
+    assert cache.get(list(reversed(REGIONS)), cpu) is got
+    assert cache.hits == 2
+    # different parameters are different entries
+    cache.get(REGIONS, cpu, nworkers=4)
+    cache.get(REGIONS, cpu, enabled=False)
+    assert cache.misses == 3
+
+
+def test_estimate_cache_lru_bound():
+    cache = compression.EstimateCache(maxsize=2)
+    cpu = CpuSpec()
+    for size in (1000, 2000, 3000):
+        cache.get([(size, "text")], cpu)
+    assert len(cache._store) == 2
+    cache.get([(1000, "text")], cpu)  # evicted: recomputes
+    assert cache.misses == 4
+
+
+def test_checkpoint_populates_estimate_cache(world):
+    world.tracer.enable()
+    comp = launch_toucher(world)
+    compression.ESTIMATE_CACHE.clear()
+    comp.checkpoint()
+    # build and write both estimate the same payload: one miss, one hit
+    assert compression.ESTIMATE_CACHE.hits >= 1
+    assert world.tracer.snapshot().get("mtcp.estimate_cache_hits", 0) >= 1
+    no_failures(world)

@@ -52,6 +52,39 @@ def test_fork_copy_private_regions_diverge_shared_alias():
     assert child_shared is shared  # aliased
 
 
+def test_fork_shared_region_dirty_state_stays_aliased():
+    # Incremental checkpointing depends on this: a shared region is one
+    # physical mapping, so a child's post-fork writes must show up in the
+    # parent's next delta image, and the parent cleaning at Barrier 5
+    # must clean the child's view too.
+    space = AddressSpace()
+    shared = space.map_region(8192, "shm", PROFILES["numeric"], shared=True)
+    shared.clean()
+    child = space.fork_copy()
+    child_shared = next(r for r in child.regions if r.kind == "shm")
+    child_shared.touch(0.5)
+    assert shared.dirty_fraction == 0.5  # child write visible to parent
+    shared.clean()
+    assert child_shared.dirty_fraction == 0.0  # parent clean visible to child
+
+
+def test_fork_private_region_dirty_state_diverges():
+    # A private region is COW: the clone starts with the parent's dirty
+    # fraction (those pages differ from the last image in both copies),
+    # then the two track independently.
+    space = AddressSpace()
+    private = space.map_region(8192, "heap", PROFILES["text"])
+    private.clean()
+    private.touch(0.25)
+    child = space.fork_copy()
+    child_private = next(r for r in child.regions if r.kind == "heap")
+    assert child_private.dirty_fraction == 0.25  # inherited at fork
+    child_private.touch(0.5)
+    assert private.dirty_fraction == 0.25  # parent unaffected
+    private.clean()
+    assert child_private.dirty_fraction == 0.75  # child unaffected
+
+
 def test_dirty_tracking_touch_and_clean():
     region = MemoryRegion(0, 4096, "heap", PROFILES["text"])
     assert region.dirty_fraction == 1.0  # born dirty

@@ -75,6 +75,36 @@ def test_pending_counts_live_events_only():
     assert eng.pending == 1
 
 
+def test_pending_is_o1_no_heap_scan():
+    # regression: `pending` used to scan the whole heap on every call;
+    # it must now read a live-event counter.  A heap whose iteration is
+    # poisoned proves no rescan happens on the cancel-then-pending path.
+    class NoIterList(list):
+        def __iter__(self):
+            raise AssertionError("pending scanned the heap")
+
+    eng = Engine()
+    events = [eng.call_at(float(i), lambda: None) for i in range(8)]
+    eng._heap = NoIterList(eng._heap)
+    assert eng.pending == 8
+    events[3].cancel()
+    events[5].cancel()
+    assert eng.pending == 6
+
+
+def test_pending_counter_survives_double_cancel_and_fire():
+    eng = Engine()
+    ev = eng.call_at(1.0, lambda: None)
+    other = eng.call_at(2.0, lambda: None)
+    ev.cancel()
+    ev.cancel()  # idempotent: must not decrement twice
+    assert eng.pending == 1
+    eng.run()
+    assert eng.pending == 0
+    other.cancel()  # cancelling a fired event must not go negative
+    assert eng.pending == 0
+
+
 def test_run_until_time_stops_clock_at_bound():
     eng = Engine()
     fired = []
