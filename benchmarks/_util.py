@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 import os
 import pathlib
 import time
@@ -59,3 +60,88 @@ def run_timed(benchmark, fn):
     t0 = time.perf_counter()
     result = run_once(benchmark, fn)
     return result, time.perf_counter() - t0
+
+
+def quick_mode() -> bool:
+    """``REPRO_BENCH_QUICK=1``: one timing rep, small scenario variants."""
+    return os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
+
+
+def calibrate(loops: int = 2_000_000, reps: int = 3) -> float:
+    """Seconds for a fixed, deterministic CPU loop on this host.
+
+    Wall-clock baselines are only comparable across machines after
+    normalizing by single-core speed; the regression gate scales its
+    tolerance by ``calibrate(now) / calibrate(baseline_host)``.  Takes
+    the best of ``reps`` runs -- the minimum is the honest estimate of
+    single-core speed, anything above it is scheduler noise.
+    """
+    best = math.inf
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(loops):
+            acc = (acc + i * i) % 1_000_003
+        # keep `acc` observable so the loop cannot be optimized away
+        assert acc >= 0
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def compare_results(old_json, new_json, tol: float = 1e-9, wall_tol: float = 0.25):
+    """Diff two benchmark result payloads (dicts or paths to JSON files).
+
+    Two kinds of numeric keys get two different rules:
+
+    * **wall-clock keys** (name contains ``wall``): host time, inherently
+      noisy -- only a *regression* beyond ``new > old * (1 + wall_tol)``
+      counts as a failure; getting faster never does;
+    * **everything else**: simulated metrics, which are deterministic --
+      any relative drift beyond ``tol`` is a failure.
+
+    Returns ``(ok, failures)`` where ``failures`` is a list of
+    human-readable strings, one per offending key.
+    """
+    if not isinstance(old_json, dict):
+        old_json = json.loads(pathlib.Path(old_json).read_text())
+    if not isinstance(new_json, dict):
+        new_json = json.loads(pathlib.Path(new_json).read_text())
+    failures: list[str] = []
+    _compare_node(old_json, new_json, "", tol, wall_tol, failures)
+    return not failures, failures
+
+
+def _compare_node(old, new, path, tol, wall_tol, failures) -> None:
+    if isinstance(old, dict) and isinstance(new, dict):
+        for key in old:
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in new:
+                failures.append(f"{sub}: missing from new results")
+            else:
+                _compare_node(old[key], new[key], sub, tol, wall_tol, failures)
+        return
+    if isinstance(old, (list, tuple)) and isinstance(new, (list, tuple)):
+        if len(old) != len(new):
+            failures.append(f"{path}: length {len(old)} -> {len(new)}")
+            return
+        for i, (o, n) in enumerate(zip(old, new)):
+            _compare_node(o, n, f"{path}[{i}]", tol, wall_tol, failures)
+        return
+    if isinstance(old, bool) or isinstance(new, bool) or not (
+        isinstance(old, (int, float)) and isinstance(new, (int, float))
+    ):
+        if old != new:
+            failures.append(f"{path}: {old!r} -> {new!r}")
+        return
+    if "wall" in path.rsplit(".", 1)[-1].lower():
+        if new > old * (1.0 + wall_tol):
+            failures.append(
+                f"{path}: wall-clock regression {old:.4g} s -> {new:.4g} s "
+                f"(> {wall_tol:.0%} tolerance)"
+            )
+        return
+    scale = max(abs(old), abs(new), 1e-30)
+    if abs(old - new) / scale > tol:
+        failures.append(f"{path}: simulated metric drift {old!r} -> {new!r}")

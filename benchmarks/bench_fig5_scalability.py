@@ -1,6 +1,14 @@
 """Figure 5: ParGeant4 checkpoint/restart times as the number of compute
 processes grows from 16 to 128 -- local disks (5a) vs centralized
-SAN/NFS storage (5b)."""
+SAN/NFS storage (5b).
+
+``REPRO_FIG5_XL=1`` extends the sweep beyond the paper's 128-process
+axis to 256 and 512 compute processes (64 and 128 simulated nodes) --
+feasible host-side since the hot-path work in DESIGN.md §8, and a useful
+stress point for the coordinator barrier at scale.  The paper-shape
+assertions only apply to the paper's own range."""
+
+import os
 
 import pytest
 
@@ -11,6 +19,8 @@ from benchmarks._util import full_scale, run_timed, save_and_print, save_json
 
 POINTS_FULL = [16, 32, 48, 64, 80, 96, 112, 128]
 POINTS_LIGHT = [16, 48, 96, 128]
+#: Opt-in extrapolation beyond the paper's largest cluster.
+POINTS_XL = [256, 512] if os.environ.get("REPRO_FIG5_XL", "0") == "1" else []
 
 _ROWS: dict[tuple[str, int], object] = {}
 _WALL: dict[str, float] = {}
@@ -21,7 +31,7 @@ def _points():
 
 
 @pytest.mark.parametrize("storage", ["local", "san"])
-@pytest.mark.parametrize("nprocs", POINTS_LIGHT)
+@pytest.mark.parametrize("nprocs", POINTS_LIGHT + POINTS_XL)
 def test_fig5_point(benchmark, storage, nprocs):
     point, wall = run_timed(benchmark, lambda: run_fig5_point(nprocs, storage=storage))
     _ROWS[(storage, nprocs)] = point
@@ -52,8 +62,10 @@ def test_fig5_summary_shapes(benchmark):
         },
     )
 
-    local = [p for (s, _n), p in sorted(_ROWS.items()) if s == "local"]
-    san = [p for (s, _n), p in sorted(_ROWS.items()) if s == "san"]
+    # the paper's claims are about its own 16..128 axis; XL points are
+    # reported in the table but not shape-asserted
+    local = [p for (s, n), p in sorted(_ROWS.items()) if s == "local" and n <= 128]
+    san = [p for (s, n), p in sorted(_ROWS.items()) if s == "san" and n <= 128]
     # 5a: with local disks, checkpoint time is nearly constant in the
     # node count ("checkpoint time remains nearly constant as the number
     # of nodes increases")

@@ -1,0 +1,165 @@
+"""Host wall-clock regression harness for the simulation hot paths.
+
+Unlike the figure/table benches (which reproduce *simulated* numbers),
+this bench times the *host*: how long the engine, kernel and hardware
+layers take to push the paper's heaviest scenarios through.  It guards
+the optimizations described in DESIGN.md §8:
+
+* the Fig-5 128-process SAN point -- the event-count worst case
+  (~400k events: syscall dispatch, fair-share completions, wire delays);
+* the runCMS case study -- the single-process, big-image path.
+
+Walls are compared against ``benchmarks/baselines/perf_core_baseline.json``
+after scaling by a CPU calibration ratio (so a slower CI host doesn't
+fail spuriously); more than a 25 % slowdown beyond that fails the bench.
+Simulated metrics must match the baseline *exactly* on every host --
+a wall-clock win that changes simulation results is a bug, not a win.
+
+Results land in root-level ``BENCH_perf.json``.  ``REPRO_BENCH_QUICK=1``
+drops the repetition counts for CI smoke runs.  Standalone use:
+
+    PYTHONPATH=src python benchmarks/bench_perf_core.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+if __package__ in (None, ""):  # standalone: python benchmarks/bench_perf_core.py
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks._util import calibrate, compare_results, quick_mode, run_once
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "baselines" / "perf_core_baseline.json"
+OUTPUT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_perf.json"
+
+#: Allowed calibrated wall-clock slowdown before the bench fails.
+WALL_TOL = 0.25
+
+
+def _run_fig5_point():
+    from repro.harness.fig5 import run_fig5_point
+
+    return run_fig5_point(128, storage="san")
+
+
+def _run_runcms():
+    from repro.core.launch import DmtcpComputation
+    from repro.harness.experiment import MB, build_desktop
+
+    world = build_desktop(seed=0)
+    comp = DmtcpComputation(world)
+    proc = comp.launch("node00", "runcms", ["runcms", "20.0"])
+    world.engine.run_until(lambda: proc.env.get("RUNCMS_READY") == "1")
+    world.engine.run(until=world.engine.now + 1.0)
+    kill = comp.checkpoint(kill=True)
+    restart = comp.restart(plan=kill.plan)
+    return {
+        "checkpoint_s": kill.duration,
+        "restart_s": restart.duration,
+        "stored_mb": kill.total_stored_bytes / MB,
+    }
+
+
+def _best_of(fn, reps):
+    """(best wall seconds, last result) over ``reps`` fresh runs."""
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_perf_core() -> dict:
+    """Measure both scenarios, write ``BENCH_perf.json``, return it."""
+    baseline = json.loads(BASELINE_PATH.read_text())
+    quick = quick_mode()
+
+    # warm imports and allocator before taking any timings
+    from repro.harness.fig5 import run_fig5_point
+
+    run_fig5_point(16, storage="san")
+
+    fig5_reps = 1 if quick else 5
+    runcms_reps = 3 if quick else 10
+    fig5_wall, point = _best_of(_run_fig5_point, fig5_reps)
+    runcms_wall, runcms_sim = _best_of(_run_runcms, runcms_reps)
+
+    host_calibration = calibrate()
+    ratio = host_calibration / baseline["calibration_s"]
+
+    fig5_base = baseline["fig5_128_san"]
+    runcms_base = baseline["runcms"]
+    payload = {
+        "calibration": {
+            "baseline_s": baseline["calibration_s"],
+            "host_s": host_calibration,
+            "ratio": ratio,
+        },
+        "quick": quick,
+        "wall_tol": WALL_TOL,
+        "fig5_128_san": {
+            "reps": fig5_reps,
+            "wall_s": fig5_wall,
+            "seed_wall_s": fig5_base["seed_wall_s"],
+            "optimized_wall_s": fig5_base["optimized_wall_s"],
+            # the seed wall is scaled to this host before dividing, so the
+            # reported speedup is host-independent up to calibration error
+            "speedup_vs_seed": fig5_base["seed_wall_s"] * ratio / fig5_wall,
+            "sim": {
+                "checkpoint_s": point.checkpoint_s,
+                "restart_s": point.restart_s,
+                "aggregate_stored_mb": point.aggregate_stored_mb,
+            },
+        },
+        "runcms": {
+            "reps": runcms_reps,
+            "wall_s": runcms_wall,
+            "seed_wall_s": runcms_base["seed_wall_s"],
+            "optimized_wall_s": runcms_base["optimized_wall_s"],
+            "speedup_vs_seed": runcms_base["seed_wall_s"] * ratio / runcms_wall,
+            "sim": runcms_sim,
+        },
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def check_perf_core(payload: dict) -> None:
+    """Assert simulated exactness and the calibrated wall-clock gate."""
+    baseline = json.loads(BASELINE_PATH.read_text())
+    ratio = payload["calibration"]["ratio"]
+
+    for key in ("fig5_128_san", "runcms"):
+        ok, failures = compare_results(baseline[key]["sim"], payload[key]["sim"], tol=0.0)
+        assert ok, f"{key}: simulated metrics drifted from baseline: {failures}"
+        budget = baseline[key]["optimized_wall_s"] * ratio * (1.0 + WALL_TOL)
+        wall = payload[key]["wall_s"]
+        assert wall <= budget, (
+            f"{key}: host wall regression: {wall:.3f} s > "
+            f"{budget:.3f} s (baseline {baseline[key]['optimized_wall_s']:.3f} s "
+            f"x calibration {ratio:.2f} x {1.0 + WALL_TOL:.2f})"
+        )
+
+
+def test_perf_core(benchmark):
+    payload = run_once(benchmark, run_perf_core)
+    print(
+        f"\nfig5-128-san: {payload['fig5_128_san']['wall_s']:.3f} s host wall "
+        f"({payload['fig5_128_san']['speedup_vs_seed']:.2f}x vs seed), "
+        f"runcms: {payload['runcms']['wall_s'] * 1000:.2f} ms "
+        f"({payload['runcms']['speedup_vs_seed']:.2f}x vs seed) "
+        f"-> {OUTPUT_PATH.name}"
+    )
+    check_perf_core(payload)
+
+
+if __name__ == "__main__":
+    result = run_perf_core()
+    check_perf_core(result)
+    print(json.dumps(result, indent=2, sort_keys=True))

@@ -4,6 +4,7 @@
     python -m repro quickstart            # run one demo
     python -m repro selfcheck             # 30-second end-to-end check
     python -m repro trace <scenario>      # emit a Chrome trace (see --help)
+    python -m repro profile <scenario>    # host-side cProfile rollup (see --help)
 """
 
 from __future__ import annotations
@@ -115,6 +116,46 @@ def _trace(argv: list[str]) -> int:
     return 0
 
 
+def _profile(argv: list[str]) -> int:
+    """`python -m repro profile [scenario] [--seed N] [--top N] [--json PATH]`.
+
+    Runs a scenario under cProfile and prints host time rolled up per
+    subsystem (sim / kernel / hardware / ...) plus the hottest functions
+    -- the measurement loop behind the optimizations in DESIGN.md §8.
+    """
+    import argparse
+
+    from repro.obs.profiler import PERF_SCENARIOS, format_report, profile_scenario
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro profile",
+        description="Profile host CPU cost of a simulation scenario.",
+    )
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        default="fig5-san",
+        choices=sorted(PERF_SCENARIOS),
+        help="scenario to profile (default: fig5-san)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument("--top", type=int, default=25, help="hot-function rows to print")
+    parser.add_argument("--json", default=None, help="also write the report as JSON here")
+    args = parser.parse_args(argv)
+
+    report = profile_scenario(args.scenario, seed=args.seed, top=args.top)
+    print(format_report(report))
+    if args.json:
+        import dataclasses
+        import json
+
+        Path(args.json).write_text(
+            json.dumps(dataclasses.asdict(report), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     """Dispatch `python -m repro <command>`."""
     if not argv or argv[0] in ("-h", "--help", "list"):
@@ -128,6 +169,8 @@ def main(argv: list[str]) -> int:
         return 0
     if cmd == "trace":
         return _trace(argv[1:])
+    if cmd == "profile":
+        return _profile(argv[1:])
     if cmd in _EXAMPLES:
         runpy.run_path(str(_examples_dir() / f"{cmd}.py"), run_name="__main__")
         return 0

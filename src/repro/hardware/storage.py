@@ -13,6 +13,8 @@ bandwidth is shared by every writer, reachable either over Fibre Channel
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import math
 from typing import Optional
 
@@ -21,15 +23,18 @@ from repro.errors import SimulationError
 from repro.sim.engine import Engine, Event
 from repro.sim.tasks import Future
 
-from repro.hardware.resources import BandwidthResource
+from repro.hardware.resources import DENSE_MAX_JOBS, BandwidthResource
 
 
 class _Writer:
-    __slots__ = ("remaining", "future", "eps")
+    __slots__ = ("remaining", "future", "eps", "seq", "credit")
 
-    def __init__(self, volume: float, future: Future):
+    def __init__(self, volume: float, future: Future, seq: int):
         self.remaining = volume
         self.future = future
+        self.seq = seq
+        #: Virtual-finish credit on the disk's served counter (sparse mode).
+        self.credit = 0.0
         # relative float-residue threshold (see resources._Job.eps)
         self.eps = max(1e-9, volume * 1e-9)
 
@@ -55,9 +60,19 @@ class PageCachedDisk:
         #: float-residue threshold for dirty-level transitions
         self._eps = max(1e-3, self.dirty_limit * 1e-9)
         self._writers: list[_Writer] = []
+        self._wseq = itertools.count()
+        #: Sparse (virtual-finish-time) writer state; empty while dense.
+        #: Writers all progress at the same rate, so a single served
+        #: counter plus a heap keyed by (finish credit, seq) suffices
+        #: (see resources._CapGroup for the capped multi-group variant).
+        self._wsparse = False
+        self._wserved = 0.0
+        self._wheap: list[tuple[float, int, _Writer]] = []
+        self._wcount = 0
         self._last_update = 0.0
         self._next_event: Optional[Event] = None
         self._sync_waiters: list[Future] = []
+        self._write_name = f"{name}:write"
         #: Reads of data still resident in the cache (just-written images).
         self._cached_reads = BandwidthResource(
             engine, spec.cache_read_bps, name=f"{name}:cached-read"
@@ -72,7 +87,7 @@ class PageCachedDisk:
     def write(self, nbytes: float) -> Future:
         """Write ``nbytes``; resolves when the *application* write returns
         (data in cache or on disk -- not necessarily durable; see sync)."""
-        fut = Future(f"{self.name}:write")
+        fut = Future(self._write_name)
         if nbytes < 0:
             raise SimulationError(f"negative write size {nbytes}")
         if nbytes == 0:
@@ -80,7 +95,13 @@ class PageCachedDisk:
             return fut
         self.bytes_written += nbytes
         self._advance()
-        self._writers.append(_Writer(float(nbytes), fut))
+        writer = _Writer(float(nbytes), fut, next(self._wseq))
+        if self._wsparse:
+            self._sparse_add(writer)
+        else:
+            self._writers.append(writer)
+            if len(self._writers) > DENSE_MAX_JOBS:
+                self._go_sparse()
         self._reschedule()
         return fut
 
@@ -93,7 +114,7 @@ class PageCachedDisk:
         """Resolve when every pending write is durable on the platter."""
         fut = Future(f"{self.name}:sync")
         self._advance()
-        if not self._writers and self.dirty_bytes <= 0.0:
+        if not self._nwriters and self.dirty_bytes <= 0.0:
             fut.resolve(None)
         else:
             self._sync_waiters.append(fut)
@@ -101,8 +122,26 @@ class PageCachedDisk:
         return fut
 
     # ------------------------------------------------------------------
+    @property
+    def _nwriters(self) -> int:
+        return self._wcount if self._wsparse else len(self._writers)
+
+    def _sparse_add(self, writer: _Writer) -> None:
+        writer.credit = self._wserved + writer.remaining
+        heapq.heappush(self._wheap, (writer.credit, writer.seq, writer))
+        self._wcount += 1
+
+    def _go_sparse(self) -> None:
+        """Migrate the (freshly advanced) dense writer list to VFT."""
+        self._wsparse = True
+        self._wserved = 0.0
+        self._wcount = 0
+        writers, self._writers = self._writers, []
+        for writer in writers:
+            self._sparse_add(writer)
+
     def _fill_rate_total(self) -> float:
-        if not self._writers:
+        if not self._nwriters:
             return 0.0
         if self.dirty_bytes < self.dirty_limit - self._eps:
             return self.spec.cache_write_bps
@@ -122,7 +161,10 @@ class PageCachedDisk:
             return
         fill_total = self._fill_rate_total()
         drain = self._drain_rate()
-        if self._writers:
+        if self._wsparse:
+            if self._wcount:
+                self._wserved += (fill_total / self._wcount) * dt
+        elif self._writers:
             per_writer = fill_total / len(self._writers)
             clock_eps = per_writer * max(abs(now), 1.0) * 1e-16 * 8
             for w in self._writers:
@@ -143,7 +185,11 @@ class PageCachedDisk:
         fill_total = self._fill_rate_total()
         drain = self._drain_rate()
         dt = math.inf
-        if self._writers:
+        if self._wsparse:
+            per_writer = fill_total / self._wcount
+            if per_writer > 0 and self._wheap:
+                dt = min(dt, (self._wheap[0][0] - self._wserved) / per_writer)
+        elif self._writers:
             per_writer = fill_total / len(self._writers)
             if per_writer > 0:
                 dt = min(dt, min(w.remaining for w in self._writers) / per_writer)
@@ -160,11 +206,27 @@ class PageCachedDisk:
     def _on_event(self) -> None:
         self._next_event = None
         self._advance()
-        done = [w for w in self._writers if w.remaining <= 0.0]
-        self._writers = [w for w in self._writers if w.remaining > 0.0]
+        if self._wsparse:
+            per_writer = self._fill_rate_total() / self._wcount
+            clock_eps = per_writer * max(abs(self.engine.now), 1.0) * 1e-16 * 8
+            served = self._wserved
+            heap = self._wheap
+            done: list[_Writer] = []
+            while heap and heap[0][0] - served <= max(heap[0][2].eps, clock_eps):
+                done.append(heapq.heappop(heap)[2])
+            if done:
+                self._wcount -= len(done)
+                if self._wcount == 0:
+                    # drained: revert to the exact dense mode
+                    self._wsparse = False
+                    self._wserved = 0.0
+                done.sort(key=lambda w: w.seq)
+        else:
+            done = [w for w in self._writers if w.remaining <= 0.0]
+            self._writers = [w for w in self._writers if w.remaining > 0.0]
         for w in done:
             w.future.resolve(None)
-        if not self._writers and self.dirty_bytes <= 0.0 and self._sync_waiters:
+        if not self._nwriters and self.dirty_bytes <= 0.0 and self._sync_waiters:
             waiters, self._sync_waiters = self._sync_waiters, []
             for fut in waiters:
                 fut.resolve(None)

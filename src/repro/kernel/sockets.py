@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.errors import SyscallError
 from repro.kernel.process import Description
 from repro.kernel.streams import ByteBuffer, Chunk
+from repro.sim.tasks import Future
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hardware.node import Node
@@ -155,50 +156,82 @@ def make_socketpair(world: "World", node: "Node", domain: str = "pair") -> tuple
     return a, b
 
 
+class _Transmit:
+    """State machine for one in-flight chunk (replaces per-send closures).
+
+    Registered on the reservation future first (``seq < 0``), then -- once
+    bandwidth is reserved and the wire transfer is submitted -- re-registered
+    on the transfer future to commit the chunk at the peer in TCP order.
+    """
+
+    __slots__ = ("world", "src", "peer", "chunk", "accepted", "seq")
+
+    def __init__(self, world: "World", src: SocketEndpoint, chunk: Chunk, accepted):
+        self.world = world
+        self.src = src
+        self.peer = src.peer
+        self.chunk = chunk
+        self.accepted = accepted
+        self.seq = -1
+
+    def __call__(self) -> None:
+        src = self.src
+        peer = self.peer
+        if self.seq < 0:  # reservation settled: copy into the kernel
+            if peer.closed or src.closed:
+                peer.rx.unreserve(self.chunk.nbytes)
+                self.accepted.reject(SyscallError("EPIPE", f"socket inode {src.inode}"))
+                return
+            self.seq = src._tx_seq
+            src._tx_seq += 1
+            self.world.machine.network.transfer(
+                src.node, peer.node, self.chunk.nbytes, on_done=self
+            )
+            self.accepted.resolve(None)
+            return
+        # wire transfer landed: deliver in TCP order
+        seq = self.seq
+        if seq == peer._rx_next and not peer._rx_pending:
+            # common case: nothing overtook us -- skip the reorder dict
+            peer.rx.commit(self.chunk)
+            peer._rx_next = seq + 1
+            return
+        peer._rx_pending[seq] = self.chunk
+        while peer._rx_next in peer._rx_pending:
+            peer.rx.commit(peer._rx_pending.pop(peer._rx_next))
+            peer._rx_next += 1
+
+
 def transmit(world: "World", src: SocketEndpoint, chunk: Chunk, force: bool = False):
     """Kernel-side transmit: reserve peer buffer space, move the bytes.
 
-    Returns a future that resolves when the *send syscall* may complete,
-    i.e. when buffer space was reserved (the copy into the kernel).  The
-    wire transfer continues as kernel activity and commits the chunk into
-    the peer's receive queue when it lands.
+    Returns None when the copy into the kernel happened synchronously
+    (buffer space was free -- the common case), else a future resolving
+    when the *send syscall* may complete, i.e. when space was reserved.
+    The wire transfer continues as kernel activity either way and commits
+    the chunk into the peer's receive queue when it lands.
 
     ``force`` skips flow control.  It exists for DMTCP's refill stage:
     the model charges the whole channel capacity (SO_SNDBUF + SO_RCVBUF
     + wire) to the receive queue, so re-sending everything the channel
     legitimately held can transiently exceed the queue's nominal bound.
     """
-    from repro.sim.tasks import Future
-
     if src.closed or src.peer is None or not src.connected:
         raise SyscallError("EPIPE", f"socket inode {src.inode}")
     peer = src.peer
     if peer.closed:
         raise SyscallError("ECONNRESET", f"socket inode {src.inode}")
-    accepted = Future("send:accepted")
     if force:
-        reservation = Future("send:forced")
         peer.rx._reserved += min(chunk.nbytes, peer.rx.capacity)
-        reservation.resolve(None)
-    else:
-        reservation = peer.rx.reserve(chunk.nbytes)
-
-    def deliver_in_order(seq: int, arrived: Chunk) -> None:
-        peer._rx_pending[seq] = arrived
-        while peer._rx_next in peer._rx_pending:
-            peer.rx.commit(peer._rx_pending.pop(peer._rx_next))
-            peer._rx_next += 1
-
-    def on_reserved() -> None:
-        if peer.closed or src.closed:
-            peer.rx.unreserve(chunk.nbytes)
-            accepted.reject(SyscallError("EPIPE", f"socket inode {src.inode}"))
-            return
-        seq = src._tx_seq
-        src._tx_seq += 1
-        transfer = world.machine.network.transfer(src.node, peer.node, chunk.nbytes)
-        transfer.add_done(lambda: deliver_in_order(seq, chunk))
-        accepted.resolve(None)
-
-    reservation.add_done(on_reserved)
-    return accepted
+    elif not peer.rx.try_reserve(chunk.nbytes):
+        # peer buffer full: block the sender on the reservation queue
+        accepted = Future("send:accepted")
+        peer.rx.reserve(chunk.nbytes).add_done(_Transmit(world, src, chunk, accepted))
+        return accepted
+    # space granted synchronously: no reservation or accepted future, the
+    # _Transmit goes straight to its delivery phase on the wire transfer
+    tr = _Transmit(world, src, chunk, None)
+    tr.seq = src._tx_seq
+    src._tx_seq += 1
+    world.machine.network.transfer(src.node, peer.node, chunk.nbytes, on_done=tr)
+    return None

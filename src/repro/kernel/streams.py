@@ -18,6 +18,7 @@ core property tests.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
@@ -28,9 +29,14 @@ from repro.sim.tasks import Future
 CTRL_DRAIN_TOKEN = "dmtcp-drain-token"
 
 
-@dataclass
+@dataclass(slots=True)
 class Chunk:
-    """The unit of in-kernel data: ``nbytes`` of simulated payload."""
+    """The unit of in-kernel data: ``nbytes`` of simulated payload.
+
+    ``slots=True``: tens of thousands of chunks are alive at Fig-5 scale,
+    and skipping the per-instance ``__dict__`` is a measurable slice of
+    the kernel path's allocation cost (see DESIGN.md §8).
+    """
 
     nbytes: int
     data: Any = None
@@ -60,11 +66,14 @@ class ByteBuffer:
             raise KernelError(f"buffer capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.name = name or f"buf-{next(self._ids)}"
-        self._chunks: list[Chunk] = []
+        self._space_name = f"{self.name}:space"
+        self._data_name = f"{self.name}:data"
+        self._chunks: deque[Chunk] = deque()
         self._reserved = 0
         self._committed = 0
-        self._space_waiters: list[tuple[int, Future]] = []
-        self._data_waiters: list[Future] = []
+        self._space_waiters: deque[tuple[int, Future]] = deque()
+        #: Zero-arg callables parked until data (or EOF) arrives.
+        self._data_waiters: list = []
         #: Set when the writing side has closed; readers see EOF when empty.
         self.eof = False
         #: FIN received while data is still in flight: EOF is finalized
@@ -94,14 +103,28 @@ class ByteBuffer:
         buffer -- mirroring a write larger than SO_SNDBUF, which simply
         keeps the buffer saturated.
         """
-        fut = Future(f"{self.name}:space")
-        need = min(nbytes, self.capacity)
+        fut = Future(self._space_name)
+        capacity = self.capacity
+        need = nbytes if nbytes < capacity else capacity
         if self.used + need <= self.capacity and not self._space_waiters:
             self._reserved += need
             fut.resolve(None)
         else:
             self._space_waiters.append((need, fut))
         return fut
+
+    def try_reserve(self, nbytes: int) -> bool:
+        """Reserve synchronously if space is free right now (hot path).
+
+        Equivalent to ``reserve()`` resolving immediately, minus the
+        Future: the socket send path calls this once per chunk.
+        """
+        capacity = self.capacity
+        need = nbytes if nbytes < capacity else capacity
+        if self._reserved + self._committed + need <= capacity and not self._space_waiters:
+            self._reserved += need
+            return True
+        return False
 
     def unreserve(self, nbytes: int) -> None:
         """Give back a reservation that will never be committed."""
@@ -112,11 +135,13 @@ class ByteBuffer:
 
     def commit(self, chunk: Chunk) -> None:
         """A reserved chunk has arrived and becomes readable."""
-        need = min(chunk.nbytes, self.capacity)
+        nbytes = chunk.nbytes
+        capacity = self.capacity
+        need = nbytes if nbytes < capacity else capacity
         if need > self._reserved + 1e-9:
             raise KernelError(f"{self.name}: commit {need}B exceeds reservation {self._reserved}B")
         self._reserved -= need
-        self._committed += chunk.nbytes
+        self._committed += nbytes
         self._chunks.append(chunk)
         self._wake_readers()
         self._check_pending_eof()
@@ -131,19 +156,27 @@ class ByteBuffer:
         """Pop the next chunk, or None if the buffer is currently empty."""
         if not self._chunks:
             return None
-        chunk = self._chunks.pop(0)
+        chunk = self._chunks.popleft()
         self._committed -= chunk.nbytes
         self._grant_space()
         return chunk
 
     def wait_data(self) -> Future:
         """Resolves as soon as a chunk is available (or EOF)."""
-        fut = Future(f"{self.name}:data")
+        fut = Future(self._data_name)
         if self._chunks or self.eof:
             fut.resolve(None)
         else:
-            self._data_waiters.append(fut)
+            self._data_waiters.append(fut.resolve)
         return fut
+
+    def add_data_waiter(self, cb) -> None:
+        """Park zero-arg ``cb`` until data (or EOF) arrives.
+
+        The caller has already checked the buffer is empty and not at
+        EOF -- this is the recv hot path's Future-free ``wait_data``.
+        """
+        self._data_waiters.append(cb)
 
     def set_eof(self) -> None:
         """Writer closed: readers see EOF once in-flight data lands."""
@@ -161,7 +194,7 @@ class ByteBuffer:
 
     def drain_all(self) -> list[Chunk]:
         """Remove and return every buffered chunk (checkpoint drain)."""
-        chunks, self._chunks = self._chunks, []
+        chunks, self._chunks = list(self._chunks), deque()
         self._committed = 0
         self._grant_space()
         return chunks
@@ -173,7 +206,7 @@ class ByteBuffer:
         endpoint state and raises EPIPE/sees EOF itself, which avoids
         leaving tasks parked forever on a dead connection.
         """
-        space, self._space_waiters = self._space_waiters, []
+        space, self._space_waiters = self._space_waiters, deque()
         for _need, fut in space:
             fut.resolve(None)
         self._wake_readers()
@@ -184,14 +217,14 @@ class ByteBuffer:
             need, fut = self._space_waiters[0]
             if self.used + need > self.capacity:
                 break
-            self._space_waiters.pop(0)
+            self._space_waiters.popleft()
             self._reserved += need
             fut.resolve(None)
 
     def _wake_readers(self) -> None:
         waiters, self._data_waiters = self._data_waiters, []
-        for fut in waiters:
-            fut.resolve(None)
+        for cb in waiters:
+            cb()
 
 
 # ----------------------------------------------------------------------

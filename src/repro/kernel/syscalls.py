@@ -15,7 +15,6 @@ call -- precisely how an ``LD_PRELOAD`` interposer behaves.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.kernel.streams import (
@@ -23,18 +22,36 @@ from repro.kernel.streams import (
     FrameAssembler,
     frame_chunks,
 )
+from repro.sim.tasks import Scheduler
 
 
-@dataclass
+_NO_KWARGS: dict = {}
+
+
 class Call:
-    """One syscall request handed to the world dispatcher."""
+    """One syscall request handed to the world dispatcher.
 
-    name: str
-    args: tuple = ()
-    kwargs: dict = field(default_factory=dict)
+    A slotted plain class, not a dataclass: every simulated syscall
+    allocates one of these, and the per-instance ``__dict__`` plus the
+    ``field(default_factory=dict)`` empty dict showed up at Fig-5 scale.
+    ``kwargs`` defaults to a shared read-only dict; dispatch only ever
+    unpacks it.
+    """
+
+    __slots__ = ("name", "args", "kwargs")
+
+    def __init__(self, name: str, args: tuple = (), kwargs: dict = _NO_KWARGS):
+        self.name = name
+        self.args = args
+        self.kwargs = kwargs
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Call({self.name}, {self.args}, {self.kwargs})"
+
+
+#: Let the sim-layer trampoline recognize syscall yields with one type
+#: check instead of an isinstance chain (see Scheduler._dispatch).
+Scheduler._call_type = Call
 
 
 def _call(name: str, *args: Any, **kwargs: Any):

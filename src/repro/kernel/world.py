@@ -38,13 +38,173 @@ from repro.kernel.sync import Semaphore
 from repro.kernel.syscalls import Sys
 from repro.obs.tracer import Tracer
 from repro.sim.rng import RandomStreams
-from repro.sim.tasks import Scheduler, Task, TaskState
+from repro.sim.tasks import Scheduler, Task, TaskState, _FINISHED_STATES
 
 #: Environment variable that triggers hijack-library injection, the
 #: simulation's LD_PRELOAD=dmtcphijack.so.
 HIJACK_ENV = "DMTCP_HIJACK"
 
 SIGHUP, SIGINT, SIGKILL, SIGTERM, SIGCHLD = 1, 2, 9, 15, 17
+
+
+class _StillCurrent:
+    """Guard for completion callbacks: the task must still be waiting on
+    the same call, in the same kernel epoch (see World._still_current).
+
+    A slotted callable object instead of a closure: the syscall path
+    creates one of these per blocking call, and avoiding the closure-cell
+    allocations is measurable at Fig-5 scale (see DESIGN.md §8).
+    """
+
+    __slots__ = ("task", "epoch", "call")
+
+    def __init__(self, task: Task):
+        self.task = task
+        self.epoch = task.epoch
+        self.call = task.pending_call
+
+    def __call__(self) -> bool:
+        task = self.task
+        return (
+            task.state not in _FINISHED_STATES
+            and task.epoch == self.epoch
+            and task.pending_call is self.call
+            and self.call is not None
+        )
+
+
+class _Settle:
+    """Completes a task's pending call when ``fut`` settles.
+
+    Registered directly via ``Future.add_done`` (zero-arg) and reads the
+    settled future's slots, so one object replaces the two closures the
+    ``when_settled`` wrapper used to allocate per blocking syscall.
+    """
+
+    __slots__ = ("task", "epoch", "call", "fut", "transform", "value")
+
+    def __init__(self, task: Task, fut, transform=None, value=None):
+        self.task = task
+        self.epoch = task.epoch
+        self.call = task.pending_call
+        self.fut = fut
+        #: Optional result override: ``transform(fut.value)`` if callable,
+        #: else the constant ``value`` when it is not None.
+        self.transform = transform
+        self.value = value
+
+    def __call__(self) -> None:
+        task = self.task
+        if (
+            task.state in _FINISHED_STATES
+            or task.epoch != self.epoch
+            or task.pending_call is not self.call
+            or self.call is None
+        ):
+            return
+        fut = self.fut
+        exc = fut._exc
+        if exc is not None:
+            task.fail_call(exc)
+        elif self.transform is not None:
+            task.complete_call(self.transform(fut._value))
+        elif self.value is not None:
+            task.complete_call(self.value)
+        else:
+            task.complete_call(fut._value)
+
+
+class _CompleteAfter:
+    """Completes a task's pending call with ``value`` after a delay."""
+
+    __slots__ = ("task", "epoch", "call", "value")
+
+    def __init__(self, task: Task, value):
+        self.task = task
+        self.epoch = task.epoch
+        self.call = task.pending_call
+        self.value = value
+
+    def __call__(self) -> None:
+        task = self.task
+        if (
+            task.state not in _FINISHED_STATES
+            and task.epoch == self.epoch
+            and task.pending_call is self.call
+            and self.call is not None
+        ):
+            task.complete_call(self.value)
+
+
+class _FileWriteFinish:
+    """Applies a completed file write's side effects (see _sys_write)."""
+
+    __slots__ = ("world", "task", "desc", "nbytes", "payload", "fut")
+
+    def __init__(self, world, task, desc, nbytes, payload, fut):
+        self.world = world
+        self.task = task
+        self.desc = desc
+        self.nbytes = nbytes
+        self.payload = payload
+        self.fut = fut
+
+    def __call__(self) -> None:
+        if self.fut._exc is not None or self.task.state in _FINISHED_STATES:
+            return
+        desc = self.desc
+        nbytes = self.nbytes
+        desc.offset += nbytes
+        desc.file.size = max(desc.file.size, desc.offset)
+        desc.file.last_write_time = self.world.engine.now
+        if self.payload is not None:
+            desc.file.payload = self.payload
+        self.task.complete_call(nbytes)
+
+
+class _FileReadFinish:
+    """Delivers a completed file read (see _sys_read)."""
+
+    __slots__ = ("task", "desc", "n", "fut")
+
+    def __init__(self, task, desc, n, fut):
+        self.task = task
+        self.desc = desc
+        self.n = n
+        self.fut = fut
+
+    def __call__(self) -> None:
+        if self.fut._exc is not None or self.task.state in _FINISHED_STATES:
+            return
+        desc = self.desc
+        desc.offset += self.n
+        self.task.complete_call((self.n, desc.file.payload))
+
+
+class _RecvAttempt:
+    """One blocking recv: retries itself whenever data may have arrived."""
+
+    __slots__ = ("task", "epoch", "ep")
+
+    def __init__(self, task: Task, ep):
+        self.task = task
+        self.epoch = task.epoch
+        self.ep = ep
+
+    def __call__(self) -> None:
+        task = self.task
+        if task.state in _FINISHED_STATES or task.epoch != self.epoch or task.state is TaskState.FROZEN:
+            return
+        if task.pending_call is None:
+            return
+        ep = self.ep
+        chunk = ep.rx.take()
+        if chunk is not None:
+            task.complete_call(chunk)
+        elif ep.rx.eof or ep.closed:
+            task.complete_call(None)
+        else:
+            ep.rx.add_data_waiter(self)
 
 
 class _NodeState:
@@ -96,6 +256,9 @@ class World:
         self.tracer = tracer or Tracer(clock=lambda: self.engine.now)
         self.engine.tracer = self.tracer
         self.scheduler = Scheduler(self.engine)
+        #: Hot-path caches for _dispatch (per-syscall attribute chains).
+        self._syscall_s = self.spec.os.syscall_s
+        self._call_after = self.engine.call_after
         self.rng = RandomStreams(seed)
         self.pid_max = pid_max
         self.nodes: dict[str, _NodeState] = {
@@ -112,6 +275,9 @@ class World:
         self.interpose_factories: dict[str, Callable[["World", Process, Sys], Sys]] = {}
         #: All processes ever spawned, for post-mortem inspection.
         self.all_processes: list[Process] = []
+        #: Syscall-name -> bound handler cache (avoids a per-dispatch
+        #: f-string + getattr on the hot path).
+        self._sys_handlers: dict[str, Callable] = {}
 
     # ------------------------------------------------------------------
     # Program registry and spawning
@@ -321,26 +487,33 @@ class World:
         process: Process = thread.process
         if not process.alive:
             return  # process died under this thread's feet
-        handler = getattr(self, f"_sys_{call.name}", None)
+        handler = self._sys_handlers.get(call.name)
         if handler is None:
-            task.fail_call(SyscallError("ENOSYS", call.name))
-            return
-        if self.tracer.enabled:
-            self.tracer.count("sys.total")
-            self.tracer.count(f"sys.{call.name}")
-        epoch = task.epoch
-
-        def run() -> None:
-            if task.done or task.epoch != epoch or task.state is TaskState.FROZEN:
+            handler = getattr(self, f"_sys_{call.name}", None)
+            if handler is None:
+                task.fail_call(SyscallError("ENOSYS", call.name))
                 return
-            try:
-                handler(task, thread, process, *call.args, **call.kwargs)
-            except SyscallError as err:
-                task.fail_call(err)
+            self._sys_handlers[call.name] = handler
+        tracer = self.engine._trace_hot
+        if tracer is not None:
+            tracer.count("sys.total")
+            tracer.count(f"sys.{call.name}")
+        # args ride in the Event's tuple; no per-syscall callable object
+        self._call_after(
+            self._syscall_s, self._run_syscall, task, task.epoch, handler,
+            thread, process, call,
+        )
 
-        self.engine.call_after(self.spec.os.syscall_s, run)
+    def _run_syscall(self, task: Task, epoch: int, handler, thread, process, call) -> None:
+        """The deferred body of one dispatched syscall (after syscall_s)."""
+        if task.state in _FINISHED_STATES or task.epoch != epoch or task.state is TaskState.FROZEN:
+            return
+        try:
+            handler(task, thread, process, *call.args, **call.kwargs)
+        except SyscallError as err:
+            task.fail_call(err)
 
-    def _still_current(self, task: Task):
+    def _still_current(self, task: Task) -> _StillCurrent:
         """Guard for completion callbacks: the task must still be waiting
         on the same call, in the same kernel epoch.
 
@@ -350,41 +523,31 @@ class World:
         results that land during suspension are delivered (stored by
         ``complete_call`` as the frozen result).
         """
-        epoch = task.epoch
-        call = task.pending_call
+        return _StillCurrent(task)
 
-        def ok() -> bool:
-            return (
-                not task.done
-                and task.epoch == epoch
-                and task.pending_call is call
-                and call is not None
-            )
+    def _settle(self, task: Task, fut, transform=None, value=None) -> None:
+        """Complete ``task``'s pending call when ``fut`` settles.
 
-        return ok
-
-    def _settle(self, task: Task, fut, transform=None) -> None:
-        """Complete ``task``'s pending call when ``fut`` settles."""
-        current = self._still_current(task)
-
-        def on_settled(value, exc) -> None:
-            if not current():
-                return
+        ``transform`` maps the future's value; ``value`` (if not None)
+        replaces it outright -- cheaper than a per-call lambda.
+        """
+        if fut._done:
+            # settle immediately without allocating the callback object;
+            # the epoch/pending-call guards trivially hold mid-handler
+            exc = fut._exc
             if exc is not None:
                 task.fail_call(exc)
+            elif transform is not None:
+                task.complete_call(transform(fut._value))
+            elif value is not None:
+                task.complete_call(value)
             else:
-                task.complete_call(transform(value) if transform else value)
-
-        fut.when_settled(on_settled)
+                task.complete_call(fut._value)
+            return
+        fut.add_done(_Settle(task, fut, transform, value))
 
     def _complete_after(self, task: Task, delay: float, value=None) -> None:
-        current = self._still_current(task)
-
-        def fire() -> None:
-            if current():
-                task.complete_call(value)
-
-        self.engine.call_after(delay, fire)
+        self.engine.call_after(delay, _CompleteAfter(task, value))
 
     # ------------------------------------------------------------------
     # Trivial process syscalls
@@ -673,18 +836,7 @@ class World:
         if not desc.writable:
             raise SyscallError("EBADF", f"fd {fd} not writable")
         fut = desc.table.charge_write(desc.mount, nbytes)
-
-        def finish(_value, exc) -> None:
-            if exc is not None or task.done:
-                return
-            desc.offset += nbytes
-            desc.file.size = max(desc.file.size, desc.offset)
-            desc.file.last_write_time = self.engine.now
-            if payload is not None:
-                desc.file.payload = payload
-            task.complete_call(nbytes)
-
-        fut.when_settled(finish)
+        fut.add_done(_FileWriteFinish(self, task, desc, nbytes, payload, fut))
 
     def _sys_read(self, task, thread, process, fd, nbytes) -> None:
         desc = process.get_fd(fd)
@@ -700,14 +852,7 @@ class World:
             < self.spec.disk.cache_retention_s
         )
         fut = desc.table.charge_read(desc.mount, n, cached)
-
-        def finish(_value, exc) -> None:
-            if exc is not None or task.done:
-                return
-            desc.offset += n
-            task.complete_call((n, desc.file.payload))
-
-        fut.when_settled(finish)
+        fut.add_done(_FileReadFinish(task, desc, n, fut))
 
     def _sys_lseek(self, task, thread, process, fd, offset) -> None:
         desc = process.get_fd(fd)
@@ -872,29 +1017,16 @@ class World:
     def _sys_send_chunk(self, task, thread, process, fd, chunk, force=False) -> None:
         ep = self._socket_desc(process, fd)
         check_pipe_direction(ep, "send")
-        self._settle(
-            task, transmit(self, ep, chunk, force=force), transform=lambda _: chunk.nbytes
-        )
+        accepted = transmit(self, ep, chunk, force=force)
+        if accepted is None:  # copied into the kernel synchronously
+            task.complete_call(chunk.nbytes)
+        else:
+            self._settle(task, accepted, value=chunk.nbytes)
 
     def _sys_recv(self, task, thread, process, fd) -> None:
         ep = self._socket_desc(process, fd)
         check_pipe_direction(ep, "recv")
-        epoch = task.epoch
-
-        def attempt() -> None:
-            if task.done or task.epoch != epoch or task.state is TaskState.FROZEN:
-                return
-            if task.pending_call is None:
-                return
-            chunk = ep.rx.take()
-            if chunk is not None:
-                task.complete_call(chunk)
-            elif ep.rx.eof or ep.closed:
-                task.complete_call(None)
-            else:
-                ep.rx.wait_data().add_done(attempt)
-
-        attempt()
+        _RecvAttempt(task, ep)()
 
     def _sys_setsockopt(self, task, thread, process, fd, option, value) -> None:
         desc = process.get_fd(fd)

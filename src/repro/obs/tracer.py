@@ -75,7 +75,7 @@ class Tracer:
     time; the world wires it to ``engine.now``.
     """
 
-    __slots__ = ("clock", "enabled", "events", "counters", "_stacks")
+    __slots__ = ("clock", "enabled", "events", "counters", "_stacks", "_watchers")
 
     def __init__(self, clock: Optional[Callable[[], float]] = None, enabled: bool = False):
         self.clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
@@ -86,17 +86,33 @@ class Tracer:
         self.counters: dict[str, float] = {}
         #: Per-track stacks of open spans: track -> [(name, begin_ts), ...]
         self._stacks: dict[str, list[tuple[str, float]]] = {}
+        #: enable/disable listeners -- hot loops (engine step, scheduler
+        #: trampoline) register here so they can rebind their cached
+        #: "tracer-or-None" slot instead of re-testing ``enabled`` per event.
+        self._watchers: list[Callable[["Tracer"], None]] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def add_watcher(self, fn: Callable[["Tracer"], None]) -> None:
+        """Call ``fn(self)`` now and after every enable()/disable()."""
+        if fn not in self._watchers:
+            self._watchers.append(fn)
+        fn(self)
+
+    def _notify(self) -> None:
+        for fn in self._watchers:
+            fn(self)
+
     def enable(self) -> None:
         """Start recording events and counters."""
         self.enabled = True
+        self._notify()
 
     def disable(self) -> None:
         """Stop recording; open spans keep measuring."""
         self.enabled = False
+        self._notify()
 
     def reset(self) -> None:
         """Drop all recorded events, counters, and open spans."""

@@ -4,22 +4,38 @@ The engine knows nothing about processes or checkpoints; it schedules
 callbacks at virtual times.  Determinism is guaranteed by breaking ties in
 (time, insertion sequence) order, so two runs with the same seed replay the
 same interleaving.
+
+Two hot-path design points (see DESIGN.md §8):
+
+* Heap entries are ``(time, seq, event)`` tuples, so ``heapq`` compares
+  floats and ints at C speed instead of calling ``Event.__lt__``.
+* Events scheduled at the *current* time (``call_soon`` and zero-delay
+  ``call_after``) bypass the heap entirely and go to a FIFO deque.  This
+  is safe because every heap entry at time ``t`` was pushed while the
+  clock was strictly before ``t`` (scheduling at ``now`` takes the FIFO
+  path, scheduling in the past raises), so heap entries at the current
+  time always carry smaller sequence numbers than anything in the FIFO
+  -- draining the heap first, then the FIFO, replays the exact global
+  ``(time, seq)`` order the pure-heap engine produces.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
+
+_new_event = object.__new__
 
 
 class Event:
     """A cancellable scheduled callback.
 
-    Cancellation is O(1): the heap entry stays in place but is skipped when
-    popped.  ``fired`` and ``cancelled`` are exposed for diagnostics.
+    Cancellation is O(1): the queue entry stays in place but is skipped
+    when popped.  ``fired`` and ``cancelled`` are exposed for diagnostics.
     """
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired", "engine")
@@ -49,19 +65,35 @@ class Event:
 
 
 class Engine:
-    """Virtual clock plus event heap.
+    """Virtual clock plus event queues.
 
     Typical use::
 
         eng = Engine()
         eng.call_after(1.5, hello)
-        eng.run()          # runs until the heap is empty
+        eng.run()          # runs until the queues drain
         assert eng.now == 1.5
     """
 
+    #: Class-wide default for the same-timestamp FIFO fast path.  The
+    #: determinism golden test flips this to force every event through
+    #: the heap and asserts the firing order is identical.
+    fast_path: bool = True
+
+    #: Optional per-fire instrumentation hook ``hook(event)``, consulted
+    #: once per step.  None in production; tests and the profiler install
+    #: recorders here (on the class or a single instance).  The
+    #: ``_fire_hook_default`` marker tells tooling this engine exposes
+    #: the hook at all.
+    _fire_hook_default = None
+    _debug_fire_hook = None
+
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[Event] = []
+        #: Future events as (time, seq, Event) tuples (C-speed ordering).
+        self._heap: list[tuple[float, int, Event]] = []
+        #: Events scheduled at the current timestamp, in seq (FIFO) order.
+        self._ready: deque[Event] = deque()
         self._seq = itertools.count()
         #: Live (scheduled, not cancelled, not fired) event count, kept in
         #: step with push/cancel/fire so ``pending`` never scans the heap.
@@ -69,10 +101,35 @@ class Engine:
         self._running = False
         #: Total events executed; useful for complexity assertions in tests.
         self.events_fired: int = 0
-        #: Optional repro.obs.Tracer; the world wires its own in.  Kept as
-        #: a plain attribute (None by default) so the hot loop pays one
-        #: attribute test when tracing is off.
-        self.tracer = None
+        self._tracer = None
+        #: The tracer iff it is enabled -- rebound by the tracer's
+        #: enable/disable notifications so the disabled path does zero
+        #: tracer attribute work (one slot load + an ``is None`` test).
+        self._trace_hot = None
+
+    # ------------------------------------------------------------------
+    # Tracer wiring
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        """The attached repro.obs.Tracer (None by default)."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = tracer
+        if tracer is None:
+            self._trace_hot = None
+            return
+        watch = getattr(tracer, "add_watcher", None)
+        if watch is not None:
+            watch(self._on_tracer_toggle)  # fires once immediately
+        else:  # bare stand-in tracer without toggle support
+            self._trace_hot = tracer if getattr(tracer, "enabled", False) else None
+
+    def _on_tracer_toggle(self, tracer) -> None:
+        if tracer is self._tracer:
+            self._trace_hot = tracer if tracer.enabled else None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -85,7 +142,10 @@ class Engine:
             )
         ev = Event(time, next(self._seq), fn, args)
         ev.engine = self
-        heapq.heappush(self._heap, ev)
+        if time == self.now and self.fast_path:
+            self._ready.append(ev)
+        else:
+            heapq.heappush(self._heap, (time, ev.seq, ev))
         self._live += 1
         return ev
 
@@ -93,11 +153,40 @@ class Engine:
         """Schedule ``fn(*args)`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.call_at(self.now + delay, fn, *args)
+        # call_at inlined, Event built via direct slot stores: this is
+        # the hottest scheduling entry point and the ctor frame shows up
+        time = self.now + delay
+        ev = _new_event(Event)
+        ev.time = time
+        ev.seq = seq = next(self._seq)
+        ev.fn = fn
+        ev.args = args
+        ev.cancelled = False
+        ev.fired = False
+        ev.engine = self
+        if time == self.now and self.fast_path:
+            self._ready.append(ev)
+        else:
+            heapq.heappush(self._heap, (time, seq, ev))
+        self._live += 1
+        return ev
 
     def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at the current time, after pending events."""
-        return self.call_at(self.now, fn, *args)
+        ev = _new_event(Event)
+        ev.time = self.now
+        ev.seq = next(self._seq)
+        ev.fn = fn
+        ev.args = args
+        ev.cancelled = False
+        ev.fired = False
+        ev.engine = self
+        if self.fast_path:
+            self._ready.append(ev)
+        else:
+            heapq.heappush(self._heap, (ev.time, ev.seq, ev))
+        self._live += 1
+        return ev
 
     # ------------------------------------------------------------------
     # Execution
@@ -110,31 +199,53 @@ class Engine:
     def peek_time(self) -> Optional[float]:
         """Virtual time of the next live event, or None if idle."""
         self._drop_cancelled()
-        return self._heap[0].time if self._heap else None
+        if self._ready:
+            return self.now
+        return self._heap[0][0] if self._heap else None
 
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        ready = self._ready
+        while ready and ready[0].cancelled:
+            ready.popleft()
 
     def step(self) -> bool:
-        """Execute the next event.  Returns False if the heap was empty."""
-        self._drop_cancelled()
-        if not self._heap:
+        """Execute the next event.  Returns False if the queues were empty."""
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        ready = self._ready
+        while ready and ready[0].cancelled:
+            ready.popleft()
+        if ready:
+            # ready events sit at the current timestamp; heap entries at
+            # the same timestamp are older (smaller seq) and fire first
+            if heap and heap[0][0] <= self.now:
+                ev = heapq.heappop(heap)[2]
+            else:
+                ev = ready.popleft()
+        elif heap:
+            ev = heapq.heappop(heap)[2]
+            self.now = ev.time
+        else:
             return False
-        tracer = self.tracer
-        if tracer is not None and tracer.enabled:
-            tracer.count("sim.events_fired")
-            tracer.count_max("sim.heap_depth_max", len(self._heap))
-        ev = heapq.heappop(self._heap)
-        self.now = ev.time
         ev.fired = True
         self._live -= 1
         self.events_fired += 1
+        tracer = self._trace_hot
+        if tracer is not None:
+            tracer.count("sim.events_fired")
+            tracer.count_max("sim.heap_depth_max", len(heap) + len(ready) + 1)
+        hook = self._debug_fire_hook
+        if hook is not None:
+            hook(ev)
         ev.fn(*ev.args)
         return True
 
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
-        """Run events until the heap drains or ``until`` is passed.
+        """Run events until the queues drain or ``until`` is passed.
 
         ``max_events`` is a runaway-loop backstop; hitting it raises
         :class:`SimulationError` rather than hanging the test suite.
@@ -142,38 +253,97 @@ class Engine:
         if self._running:
             raise SimulationError("Engine.run() is not reentrant")
         self._running = True
+        # the step() body is inlined here (and in run_until): the loop
+        # fires hundreds of thousands of events per scenario and the
+        # method-call + double cancel-drop overhead is measurable
+        heap = self._heap
+        ready = self._ready
+        heappop = heapq.heappop
+        fired = 0
         try:
-            fired = 0
             while True:
-                self._drop_cancelled()
-                if not self._heap:
+                while heap and heap[0][2].cancelled:
+                    heappop(heap)
+                while ready and ready[0].cancelled:
+                    ready.popleft()
+                if ready:
+                    if until is not None and self.now > until:
+                        self.now = until
+                        return
+                    # ready events sit at the current timestamp; heap
+                    # entries at the same time are older and fire first
+                    if heap and heap[0][0] <= self.now:
+                        ev = heappop(heap)[2]
+                    else:
+                        ev = ready.popleft()
+                elif heap:
+                    next_time = heap[0][0]
+                    if until is not None and next_time > until:
+                        self.now = until
+                        return
+                    ev = heappop(heap)[2]
+                    self.now = next_time
+                else:
                     return
-                if until is not None and self._heap[0].time > until:
-                    self.now = until
-                    return
-                self.step()
+                ev.fired = True
+                self._live -= 1
+                tracer = self._trace_hot
+                if tracer is not None:
+                    tracer.count("sim.events_fired")
+                    tracer.count_max("sim.heap_depth_max", len(heap) + len(ready) + 1)
+                hook = self._debug_fire_hook
+                if hook is not None:
+                    hook(ev)
+                ev.fn(*ev.args)
                 fired += 1
                 if fired >= max_events:
                     raise SimulationError(
                         f"engine exceeded {max_events} events; likely a livelock"
                     )
         finally:
+            self.events_fired += fired
             self._running = False
 
     def run_until(self, predicate: Callable[[], bool], max_events: int = 50_000_000) -> None:
-        """Run until ``predicate()`` becomes true.  Raises if the heap drains first."""
+        """Run until ``predicate()`` becomes true.  Raises if the queues drain first."""
         if self._running:
             raise SimulationError("Engine.run_until() is not reentrant")
         self._running = True
+        heap = self._heap
+        ready = self._ready
+        heappop = heapq.heappop
+        fired = 0
         try:
-            fired = 0
             while not predicate():
-                if not self.step():
+                while heap and heap[0][2].cancelled:
+                    heappop(heap)
+                while ready and ready[0].cancelled:
+                    ready.popleft()
+                if ready:
+                    if heap and heap[0][0] <= self.now:
+                        ev = heappop(heap)[2]
+                    else:
+                        ev = ready.popleft()
+                elif heap:
+                    ev = heappop(heap)[2]
+                    self.now = ev.time
+                else:
                     raise SimulationError("event heap drained before predicate held")
+                ev.fired = True
+                self._live -= 1
+                tracer = self._trace_hot
+                if tracer is not None:
+                    tracer.count("sim.events_fired")
+                    tracer.count_max("sim.heap_depth_max", len(heap) + len(ready) + 1)
+                hook = self._debug_fire_hook
+                if hook is not None:
+                    hook(ev)
+                ev.fn(*ev.args)
                 fired += 1
                 if fired >= max_events:
                     raise SimulationError(
                         f"engine exceeded {max_events} events waiting for predicate"
                     )
         finally:
+            self.events_fired += fired
             self._running = False

@@ -60,14 +60,18 @@ class Future:
         self._done = False
         self._value: Any = None
         self._exc: Optional[BaseException] = None
-        self._waiters: list[Task] = []
-        self._callbacks: list[Callable[[], None]] = []
+        # lazily created: most futures settle with one callback and no
+        # task waiters, and the hot paths create hundreds of thousands
+        self._waiters: Optional[list[Task]] = None
+        self._callbacks: Optional[list[Callable[[], None]]] = None
         self.name = name
 
     def add_done(self, fn: Callable[[], None]) -> None:
         """Run ``fn()`` when the future settles (immediately if already done)."""
         if self._done:
             fn()
+        elif self._callbacks is None:
+            self._callbacks = [fn]
         else:
             self._callbacks.append(fn)
 
@@ -95,7 +99,18 @@ class Future:
             raise TaskError(f"future {self.name!r} resolved twice")
         self._done = True
         self._value = value
-        self._wake()
+        # _wake() inlined: settling is the single hottest Future path
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            for fn in callbacks:
+                fn()
+        waiters = self._waiters
+        if waiters is not None:
+            self._waiters = None
+            for task in waiters:
+                task._waiting_future = None
+                task._scheduler._schedule_resume(task, value)
 
     def reject(self, exc: BaseException) -> None:
         """Settle with an error, throwing into all waiters."""
@@ -106,31 +121,39 @@ class Future:
         self._wake()
 
     def _wake(self) -> None:
-        callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            fn()
-        waiters, self._waiters = self._waiters, []
-        for task in waiters:
-            task._waiting_future = None
-            if self._exc is not None:
-                task._scheduler._schedule_throw(task, self._exc)
-            else:
-                task._scheduler._schedule_resume(task, self._value)
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            for fn in callbacks:
+                fn()
+        waiters = self._waiters
+        if waiters is not None:
+            self._waiters = None
+            for task in waiters:
+                task._waiting_future = None
+                if self._exc is not None:
+                    task._scheduler._schedule_throw(task, self._exc)
+                else:
+                    task._scheduler._schedule_resume(task, self._value)
 
     def _add_waiter(self, task: "Task") -> None:
-        self._waiters.append(task)
+        if self._waiters is None:
+            self._waiters = [task]
+        else:
+            self._waiters.append(task)
         task._waiting_future = self
 
     def _discard_waiter(self, task: "Task") -> None:
-        try:
-            self._waiters.remove(task)
-        except ValueError:
-            pass
+        if self._waiters is not None:
+            try:
+                self._waiters.remove(task)
+            except ValueError:
+                pass
         if task._waiting_future is self:
             task._waiting_future = None
 
     def __repr__(self) -> str:
-        state = "done" if self._done else f"pending({len(self._waiters)} waiters)"
+        state = "done" if self._done else f"pending({len(self._waiters or ())} waiters)"
         return f"<Future {self.name!r} {state}>"
 
 
@@ -143,6 +166,10 @@ class TaskState(enum.Enum):
     FROZEN = "frozen"  # checkpoint-suspended; continuation retained
     DONE = "done"
     CANCELLED = "cancelled"
+
+
+#: Terminal task states, precomputed for the hot ``Task.done`` check.
+_FINISHED_STATES = (TaskState.DONE, TaskState.CANCELLED)
 
 
 class Task:
@@ -184,7 +211,7 @@ class Task:
     @property
     def done(self) -> bool:
         """Has the task finished (normally or cancelled)?"""
-        return self.state in (TaskState.DONE, TaskState.CANCELLED)
+        return self.state in _FINISHED_STATES
 
     @property
     def result(self) -> Any:
@@ -199,7 +226,7 @@ class Task:
         Completions aimed at finished tasks are dropped silently, like a
         wakeup delivered to a process that died.
         """
-        if self.done:
+        if self.state in _FINISHED_STATES:
             return
         if self.pending_call is None:
             raise TaskError(f"{self.name}: no pending call to complete")
@@ -207,11 +234,14 @@ class Task:
         if self.state is TaskState.FROZEN:
             self._frozen_result = (value, None)
         else:
-            self._scheduler._schedule_resume(self, value)
+            # _schedule_resume inlined (hot: one per completed syscall)
+            sched = self._scheduler
+            self.state = TaskState.READY
+            self._resume_event = sched.engine.call_soon(sched._advance, self, value, None)
 
     def fail_call(self, exc: BaseException) -> None:
         """Handler callback: the pending call failed with ``exc``."""
-        if self.done:
+        if self.state in _FINISHED_STATES:
             return
         if self.pending_call is None:
             raise TaskError(f"{self.name}: no pending call to fail")
@@ -334,13 +364,13 @@ class Scheduler:
     # Internal trampoline
     # ------------------------------------------------------------------
     def _schedule_resume(self, task: Task, value: Any) -> None:
-        if task.done:
+        if task.state in _FINISHED_STATES:
             raise TaskError(f"{task.name}: resume after completion")
         task.state = TaskState.READY
         task._resume_event = self.engine.call_soon(self._advance, task, value, None)
 
     def _schedule_throw(self, task: Task, exc: BaseException) -> None:
-        if task.done:
+        if task.state in _FINISHED_STATES:
             raise TaskError(f"{task.name}: throw after completion")
         task.state = TaskState.READY
         task._resume_event = self.engine.call_soon(self._advance, task, None, exc)
@@ -348,8 +378,10 @@ class Scheduler:
     def _advance(self, task: Task, value: Any, exc: Optional[BaseException]) -> None:
         task._resume_event = None
         task.state = TaskState.RUNNING
-        tracer = self.engine.tracer
-        if tracer is not None and tracer.enabled:
+        # _trace_hot is the tracer iff enabled (rebound on enable/disable),
+        # so the disabled path does no tracer attribute work at all
+        tracer = self.engine._trace_hot
+        if tracer is not None:
             tracer.count("sched.context_switches")
         try:
             if exc is not None:
@@ -365,10 +397,31 @@ class Scheduler:
         except BaseException as err:
             self._finish(task, TaskState.DONE, None, err)
             return
+        # hot path of _dispatch inlined: syscall yields dominate
+        if yielded.__class__ is self._call_type and task.handler is not None:
+            task.state = TaskState.BLOCKED
+            task.pending_call = yielded
+            task.handler(task, yielded)
+            return
         self._dispatch(task, yielded)
 
+    #: The kernel's syscall request type (registered from
+    #: repro.kernel.syscalls to avoid a sim->kernel import).  Checked
+    #: first in _dispatch: syscalls dominate the yield stream.
+    _call_type: Optional[type] = None
+
     def _dispatch(self, task: Task, yielded: Any) -> None:
-        if yielded is None:
+        if yielded.__class__ is self._call_type:
+            handler = task.handler
+            if handler is None:
+                self._schedule_throw(
+                    task, TaskError(f"{task.name}: no handler for yielded {yielded!r}")
+                )
+                return
+            task.state = TaskState.BLOCKED
+            task.pending_call = yielded
+            handler(task, yielded)
+        elif yielded is None:
             self._schedule_resume(task, None)
         elif isinstance(yielded, Timeout):
             task.state = TaskState.BLOCKED
