@@ -1,0 +1,89 @@
+"""Chaos bench: MTBF vs. checkpoint interval under seeded node crashes.
+
+The checkpoint-interval tradeoff the paper's coordinator ``--interval``
+flag exists for: shorter intervals bound the work a crash can destroy,
+at the cost of more checkpoints.  Each sweep cell runs the supervised
+2-worker cluster under :func:`repro.faults.scenarios.run_mtbf` -- crash,
+auto-restart from the newest valid images, repeat -- and records per
+crash how many virtual seconds of work sat unprotected when the node
+died.
+
+Everything saved to the repo-root ``BENCH_faults.json`` is virtual-time
+only, so two runs with the same seed are byte-identical (the CI
+chaos-smoke job relies on this).  The file holds the same report
+``python -m repro chaos --seed 7 --quick`` writes, so regenerating it by
+hand produces no diff.
+
+``REPRO_BENCH_QUICK=1`` shrinks the sweep for CI.
+"""
+
+import pathlib
+
+from repro.faults.scenarios import run_chaos, run_mtbf
+
+from benchmarks._util import quick_mode, run_timed, save_and_print, save_json
+from repro.harness.report import table
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+#: (crashes, [interval_s], [mtbf_s]) sweep grid
+GRID_QUICK = (3, [10.0, 20.0], [40.0])
+GRID_DEFAULT = (8, [25.0, 50.0], [100.0, 200.0])
+
+
+def _sweep(seed: int = 7):
+    crashes, intervals, mtbfs = GRID_QUICK if quick_mode() else GRID_DEFAULT
+    cells = []
+    for mtbf_s in mtbfs:
+        for interval_s in intervals:
+            r = run_mtbf(seed, crashes=crashes, interval_s=interval_s, mtbf_s=mtbf_s)
+            lost = r["lost_work_s"]
+            cells.append(
+                {
+                    "interval_s": interval_s,
+                    "mtbf_s": mtbf_s,
+                    "crashes": r["crashes"],
+                    "recoveries": r["supervisor"]["stats"]["recoveries"],
+                    "failed_restarts": r["supervisor"]["stats"]["failed_restarts"],
+                    "checkpoints_completed": r["checkpoints_completed"],
+                    "sim_seconds": r["sim_seconds"],
+                    "mean_lost_work_s": round(sum(lost) / len(lost), 6),
+                    "max_lost_work_s": r["max_lost_work_s"],
+                    "bound_s": r["bound_s"],
+                    "process_failures": r["process_failures"],
+                }
+            )
+    return cells
+
+
+def test_chaos_sweep(benchmark):
+    cells, wall = run_timed(benchmark, _sweep)
+    text = table(
+        ["interval_s", "mtbf_s", "crashes", "recovered", "ckpts",
+         "mean_lost_s", "max_lost_s", "bound_s"],
+        [
+            (c["interval_s"], c["mtbf_s"], c["crashes"], c["recoveries"],
+             c["checkpoints_completed"], c["mean_lost_work_s"],
+             c["max_lost_work_s"], c["bound_s"])
+            for c in cells
+        ],
+        title="Chaos sweep -- seeded node crashes vs. checkpoint interval "
+        "(2 workers, auto-restart supervisor)",
+    )
+    save_and_print("chaos_sweep", text)
+    save_json("chaos_sweep", {"cells": cells, "seed": 7, "wall_clock_s": wall})
+
+    # the cross-PR robustness file at the repo root: the canonical quick
+    # report, identical to `python -m repro chaos --seed 7 --quick`
+    save_json("BENCH_faults", run_chaos("mtbf", seed=7, quick=True),
+              path=REPO_ROOT / "BENCH_faults.json")
+
+    for c in cells:
+        # every injected crash was survived by an automatic restart
+        assert c["recoveries"] == c["crashes"], c
+        assert c["failed_restarts"] == 0, c
+        # no survivor or restored process died of an unhandled error
+        assert c["process_failures"] == 0, c
+        # a crash can destroy at most one checkpoint interval of work
+        # (plus the barrier timeout it takes to notice)
+        assert c["max_lost_work_s"] <= c["bound_s"], c

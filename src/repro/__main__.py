@@ -5,6 +5,7 @@
     python -m repro selfcheck             # 30-second end-to-end check
     python -m repro trace <scenario>      # emit a Chrome trace (see --help)
     python -m repro profile <scenario>    # host-side cProfile rollup (see --help)
+    python -m repro chaos <scenario>      # fault injection + self-healing (see --help)
 """
 
 from __future__ import annotations
@@ -156,6 +157,71 @@ def _profile(argv: list[str]) -> int:
     return 0
 
 
+def _chaos(argv: list[str]) -> int:
+    """`python -m repro chaos [scenario] [--seed N] [--quick] [--out PATH]`.
+
+    Runs a fault-injection scenario against a supervised cluster and
+    prints the injected faults plus the recovery outcomes.  The report is
+    purely virtual-time, so the same scenario and seed write a
+    byte-identical JSON file (the CI chaos-smoke job diffs two runs).
+    """
+    import argparse
+    import json
+
+    from repro.faults.scenarios import SCENARIOS, run_chaos
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Inject faults into a supervised checkpointing cluster.",
+    )
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        default="mtbf",
+        choices=sorted(SCENARIOS),
+        help="fault scenario to run (default: mtbf)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="fault/simulation seed")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller sweep (fewer crashes, shorter interval)",
+    )
+    parser.add_argument("--out", default=None, help="report output path (JSON)")
+    args = parser.parse_args(argv)
+
+    report = run_chaos(args.scenario, seed=args.seed, quick=args.quick)
+    out = args.out or "BENCH_faults.json"
+    Path(out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    print(f"chaos scenario {args.scenario!r} (seed {args.seed}): "
+          f"{report['sim_seconds']:g} simulated seconds -> {out}")
+    print(f"  injected faults ({len(report['faults'])}):")
+    for f in report["faults"]:
+        where = f["target"] or "coordinator"
+        peer = f" <-> {f['peer']}" if f.get("peer") else ""
+        detail = f"  ({f['detail']})" if f.get("detail") else ""
+        print(f"    t={f['t']:10.3f}s  {f['kind']:16s} {where}{peer}{detail}")
+    stats = report["supervisor"]["stats"]
+    print("  recovery outcomes:")
+    print(f"    restarts {stats['restarts']}, recovered {stats['recoveries']}, "
+          f"failed {stats['failed_restarts']}, coordinator respawns "
+          f"{stats['coordinator_respawns']}, nodes rebooted {stats['nodes_rebooted']}")
+    print(f"    checkpoints completed {report['checkpoints_completed']}, "
+          f"member rollbacks {report['checkpoints_aborted']}, "
+          f"live members at end {report['live_members_at_end']}")
+    if "max_lost_work_s" in report:
+        print(f"    lost work per crash: max {report['max_lost_work_s']:.1f}s "
+              f"(bound: interval {report['interval_s']:g}s + barrier timeout "
+              f"= {report['bound_s']:g}s)")
+    healthy = (
+        report["live_members_at_end"] == 2
+        and report["process_failures"] == 0
+        and stats["recoveries"] == stats["restarts"]
+    )
+    print("  verdict:", "self-healed, cluster RUNNING" if healthy else "DEGRADED")
+    return 0 if healthy else 1
+
+
 def main(argv: list[str]) -> int:
     """Dispatch `python -m repro <command>`."""
     if not argv or argv[0] in ("-h", "--help", "list"):
@@ -171,6 +237,8 @@ def main(argv: list[str]) -> int:
         return _trace(argv[1:])
     if cmd == "profile":
         return _profile(argv[1:])
+    if cmd == "chaos":
+        return _chaos(argv[1:])
     if cmd in _EXAMPLES:
         runpy.run_path(str(_examples_dir() / f"{cmd}.py"), run_name="__main__")
         return 0

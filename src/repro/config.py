@@ -146,6 +146,27 @@ class DmtcpSpec:
     #: exceeds this, a delta would barely save anything -- write a full
     #: image and restart the chain instead.
     incremental_dirty_threshold: float = 0.9
+    # -- supervision layer (enabled via DMTCP_SUPERVISE=1; every default
+    # below is inert when supervision is off, so healthy-path event
+    # streams and all committed benchmarks are unchanged) ---------------
+    #: Coordinator watchdog: abort an in-flight checkpoint if no barrier
+    #: progress is made for this long (dead peer mid-protocol).
+    barrier_timeout_s: float = 5.0
+    #: Coordinator -> member heartbeat ping interval; a silently-crashed
+    #: member is detected when the ping's send raises ECONNRESET.
+    heartbeat_interval_s: float = 2.0
+    #: Member-side cap on any single coordinator/drain recv while inside
+    #: the checkpoint protocol (breaks the dead-coordinator deadlock).
+    member_recv_timeout_s: float = 8.0
+    #: Manager reconnect backoff after the coordinator dies (base delay;
+    #: doubles per attempt up to the cap).
+    reconnect_backoff_s: float = 0.25
+    reconnect_backoff_max_s: float = 4.0
+    reconnect_attempts: int = 40
+    #: AutoRestartSupervisor: liveness poll period and restart backoff.
+    supervisor_poll_s: float = 1.0
+    restart_backoff_s: float = 0.5
+    restart_backoff_max_s: float = 8.0
 
 
 @dataclass(frozen=True)

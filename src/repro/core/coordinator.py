@@ -101,6 +101,11 @@ class CoordinatorState:
     restarter_fds: set = field(default_factory=set)
     restart_total: int = 0
     restart_done: int = 0
+    #: monotonically counts restarts; members record the generation they
+    #: joined under, so a stale member's late-detected death (a silently
+    #: crashed node is only noticed at the next send) cannot shrink the
+    #: quorum of a *newer* restart
+    restart_gen: int = 0
     restart_started_at: float = 0.0
     restart_records: list[dict] = field(default_factory=list)
     restart_history: list[RestartOutcome] = field(default_factory=list)
@@ -122,6 +127,16 @@ class CoordinatorState:
     #: members that already delivered their CKPT_DONE this checkpoint
     #: (their subsequent disconnect -- kill mode -- is expected)
     done_fds: set = field(default_factory=set)
+    #: supervision layer (DMTCP_SUPERVISE=1): watchdog/heartbeat config,
+    #: barrier-progress tracking, and abort accounting.  All inert --
+    #: zero extra threads, syscalls, or frames -- when ``supervise`` is
+    #: off, so healthy-path runs and committed benchmarks are unchanged.
+    supervise: bool = False
+    barrier_timeout_s: float = 5.0
+    heartbeat_interval_s: float = 2.0
+    last_progress: float = 0.0
+    aborts: int = 0
+    last_abort_reason: Optional[str] = None
 
     @property
     def member_count(self) -> int:
@@ -144,6 +159,9 @@ def make_coordinator_program(state: CoordinatorState):
         yield from sys.listen(lfd, backlog=1024)
         # always armed: `dmtcp command --interval N` can enable it later
         yield from sys.thread_create(_interval_timer, state)
+        if state.supervise:
+            yield from sys.thread_create(_watchdog, state)
+            yield from sys.thread_create(_heartbeat, state)
         while True:
             cfd = yield from sys.accept(lfd)
             yield from sys.thread_create(_handle_connection, state, cfd)
@@ -157,6 +175,110 @@ def _interval_timer(sys: Sys, state: CoordinatorState):
         yield from sys.sleep(state.interval if state.interval > 0 else 1.0)
         if state.interval > 0 and state.phase == "idle" and state.members:
             yield from _start_checkpoint(sys, state, {})
+
+
+def _watchdog(sys: Sys, state: CoordinatorState):
+    """Supervision: abort a stalled checkpoint or restart.
+
+    ``last_progress`` advances on the checkpoint broadcast and on every
+    barrier arrival; if it stops advancing for ``barrier_timeout_s`` a
+    member died mid-protocol and the survivors would otherwise block at
+    their barrier forever.  Aborting rolls everyone back to RUNNING.
+    """
+    while True:
+        yield from sys.sleep(max(state.barrier_timeout_s / 4.0, 0.25))
+        if state.phase == "idle":
+            continue
+        now = yield from sys.time()
+        if now - state.last_progress < state.barrier_timeout_s:
+            continue
+        if state.phase == "checkpoint":
+            yield from _abort_checkpoint(
+                sys, state, f"no barrier progress for {state.barrier_timeout_s}s"
+            )
+        elif state.phase == "restart":
+            yield from _abort_restart(
+                sys, state, f"restart stalled for {state.barrier_timeout_s}s"
+            )
+
+
+def _heartbeat(sys: Sys, state: CoordinatorState):
+    """Supervision: ping every member periodically.
+
+    A silently-crashed member (no FIN) never triggers the connection
+    handler's recv path, but its dead socket turns our ping send into
+    ECONNRESET -- which is then handled exactly like an observed
+    disconnect (quorum shrink, barrier re-check, possible early finish).
+    """
+    while True:
+        yield from sys.sleep(state.heartbeat_interval_s)
+        for mfd in sorted(state.members):
+            try:
+                yield from send_frame(sys, mfd, P.msg(P.MSG_PING), P.CTL_FRAME_BYTES)
+            except SyscallError:
+                yield from _handle_disconnect(sys, state, mfd)
+
+
+def _abort_checkpoint(sys: Sys, state: CoordinatorState, reason: str):
+    """Supervision: abandon the in-flight checkpoint, roll back to idle.
+
+    Members roll back locally (requeue drained data, delete half-written
+    images, resume user threads) when they see MSG_CKPT_ABORT or when
+    their own member-side recv timeout fires -- whichever happens first.
+    """
+    if state.phase != "checkpoint":
+        return
+    state.aborts += 1
+    state.last_abort_reason = reason
+    tracer = state.tracer
+    if tracer is not None:
+        tracer.count("coord.ckpt_aborts")
+        for name in list(state.barrier_open):
+            state.barrier_open.pop(name)
+            state.barrier_last_arrival.pop(name, None)
+            tracer.end(
+                f"coordinator/barrier:{name}", name, cat="barrier", aborted=True
+            )
+    state.barrier_arrivals = {}
+    state.barrier_counts = {}
+    state.barrier_relay_fds = {}
+    state.records = []
+    state.images_by_host = {}
+    state.done_fds = set()
+    state.phase = "idle"
+    for mfd in sorted(state.members):
+        yield from _send_safe(sys, state, mfd, P.msg(P.MSG_CKPT_ABORT, reason=reason))
+    for cmd_fd in state.pending_command_fds:
+        yield from _send_safe(sys, state, cmd_fd, P.msg("aborted", reason=reason))
+    state.pending_command_fds = []
+
+
+def _abort_restart(sys: Sys, state: CoordinatorState, reason: str):
+    """Supervision: give up on a stalled restart (a node died mid-restore).
+
+    Restarters blocked at a restart barrier get MSG_CKPT_ABORT, exit, and
+    the AutoRestartSupervisor tries again from the newest valid images.
+    """
+    if state.phase != "restart":
+        return
+    state.aborts += 1
+    state.last_abort_reason = reason
+    tracer = state.tracer
+    if tracer is not None:
+        tracer.count("coord.restart_aborts")
+        for name in list(state.barrier_open):
+            state.barrier_open.pop(name)
+            state.barrier_last_arrival.pop(name, None)
+            tracer.end(
+                f"coordinator/barrier:{name}", name, cat="barrier", aborted=True
+            )
+    state.barrier_arrivals = {}
+    state.barrier_counts = {}
+    state.barrier_relay_fds = {}
+    state.phase = "idle"
+    for rfd in sorted(set(state.restarter_fds) | set(state.members)):
+        yield from _send_safe(sys, state, rfd, P.msg(P.MSG_CKPT_ABORT, reason=reason))
+    state.restarter_fds = set()
 
 
 def _handle_connection(sys: Sys, state: CoordinatorState, cfd: int):
@@ -174,20 +296,41 @@ def _handle_connection(sys: Sys, state: CoordinatorState, cfd: int):
                 "vpid": message["vpid"],
                 "program": message["program"],
                 "restart": message.get("restart", False),
+                "gen": state.restart_gen,
             }
         elif kind == P.MSG_BARRIER:
-            yield from _barrier_arrive(sys, state, cfd, message["name"], 1)
+            if _stale_arrival(state, message["name"]):
+                yield from _bounce_stale_arrival(sys, state, cfd)
+            else:
+                yield from _barrier_arrive(sys, state, cfd, message["name"], 1)
         elif kind == "barrier-count":
             # a relay forwards the combined arrivals of one node
-            yield from _barrier_arrive(sys, state, cfd, message["name"], message["n"], relay=True)
+            if _stale_arrival(state, message["name"]):
+                yield from _bounce_stale_arrival(sys, state, cfd)
+            else:
+                yield from _barrier_arrive(sys, state, cfd, message["name"], message["n"], relay=True)
         elif kind == P.MSG_CKPT_DONE:
             yield from _ckpt_done(sys, state, cfd, message)
+        elif kind == P.MSG_CKPT_FAILED:
+            # a member hit ENOSPC (or aborted locally): the cluster-wide
+            # checkpoint cannot complete -- roll everyone back now
+            yield from _abort_checkpoint(
+                sys, state, message.get("reason", "member checkpoint failure")
+            )
+        elif kind == P.MSG_PING or kind == P.MSG_PONG:
+            pass  # liveness traffic; nothing to do
         elif kind == P.MSG_COMMAND:
             yield from _command(sys, state, cfd, message)
         elif kind == P.MSG_RESTART_HELLO:
             state.restarter_fds.add(cfd)
+            # a restarter connecting is progress: without this the
+            # watchdog would measure the new restart against the stale
+            # timestamp of the last checkpoint and abort it at birth
+            if state.supervise and state.tracer is not None:
+                state.last_progress = state.tracer.clock()
             if state.phase != "restart":
                 state.phase = "restart"
+                state.restart_gen += 1
                 state.restart_total = message["total"]
                 state.restart_done = 0
                 state.restart_records = []
@@ -202,6 +345,8 @@ def _handle_connection(sys: Sys, state: CoordinatorState, cfd: int):
         elif kind == P.MSG_ADVERTISE:
             key = message["key"]
             state.adverts[key] = (message["host"], message["port"])
+            if state.supervise and state.tracer is not None:
+                state.last_progress = state.tracer.clock()  # reconnects flowing
             for rfd in list(state.restarter_fds):
                 yield from _send_safe(
                     sys,
@@ -233,7 +378,11 @@ def _handle_disconnect(sys: Sys, state: CoordinatorState, cfd: int):
     so a restart-member disconnect shrinks the restart quorum too.
     """
     was_member = cfd in state.members
-    was_restart_member = was_member and state.members[cfd].get("restart")
+    was_restart_member = (
+        was_member
+        and state.members[cfd].get("restart")
+        and state.members[cfd].get("gen") == state.restart_gen
+    )
     _drop_connection(state, cfd)
     if (
         was_restart_member
@@ -258,11 +407,32 @@ def _handle_disconnect(sys: Sys, state: CoordinatorState, cfd: int):
             yield from _finish_checkpoint(sys, state)
 
 
+def _stale_arrival(state: CoordinatorState, name: str) -> bool:
+    """An arrival at a checkpoint barrier whose checkpoint no longer
+    exists -- the watchdog aborted it before this member's message
+    landed.  Letting it through would reopen a barrier span nothing will
+    ever release."""
+    return state.phase == "idle" and not name.startswith("restart-")
+
+
+def _bounce_stale_arrival(sys: Sys, state: CoordinatorState, cfd: int):
+    """Tell the straggler to roll back now rather than wait out its own
+    recv timeout against a barrier that will never be released."""
+    yield from _send_safe(
+        sys,
+        state,
+        cfd,
+        P.msg(P.MSG_CKPT_ABORT, reason=state.last_abort_reason or "checkpoint aborted"),
+    )
+
+
 def _barrier_arrive(
     sys: Sys, state: CoordinatorState, cfd: int, name: str, n: int, relay: bool = False
 ):
     state.barrier_messages += 1
     tracer = state.tracer
+    if state.supervise and tracer is not None:
+        state.last_progress = tracer.clock()
     if tracer is not None:
         if name not in state.barrier_open:
             # first arrival opens the barrier span: its duration is how
@@ -319,9 +489,12 @@ def _start_checkpoint(sys: Sys, state: CoordinatorState, options: dict):
     state.done_fds = set()
     now = yield from sys.time()
     state.ckpt_started_at = now
+    state.last_progress = now
+    had_members = bool(state.members)
     for mfd in sorted(state.members):
-        yield from send_frame(
+        yield from _send_safe(
             sys,
+            state,
             mfd,
             P.msg(
                 P.MSG_CHECKPOINT,
@@ -329,8 +502,12 @@ def _start_checkpoint(sys: Sys, state: CoordinatorState, options: dict):
                 kill=bool(options.get("kill")),
                 forked=bool(options.get("forked")),
             ),
-            P.CTL_FRAME_BYTES,
         )
+    # a member can crash between the request and this broadcast: the
+    # quorum is whoever actually received the order
+    state.quorum = len(state.members)
+    if had_members and state.quorum == 0:
+        yield from _abort_checkpoint(sys, state, "every member vanished at broadcast")
 
 
 def _maybe_finish_restart(sys: Sys, state: CoordinatorState):
@@ -392,9 +569,9 @@ def _finish_checkpoint(sys: Sys, state: CoordinatorState):
     state.history.append(outcome)
     state.phase = "idle"
     for cmd_fd in state.pending_command_fds:
-        yield from send_frame(
-            sys, cmd_fd, P.msg("ok", ckpt_id=state.ckpt_id), P.CTL_FRAME_BYTES
-        )
+        # the command client may itself have died (node crash): never
+        # let its dead socket take the coordinator down with it
+        yield from _send_safe(sys, state, cmd_fd, P.msg("ok", ckpt_id=state.ckpt_id))
     state.pending_command_fds = []
     for cb in state.on_checkpoint_complete:
         cb(outcome)
@@ -432,6 +609,13 @@ def _command(sys: Sys, state: CoordinatorState, cfd: int, message: dict):
         yield from send_frame(sys, cfd, P.msg("error", detail=f"unknown {cmd}"), P.CTL_FRAME_BYTES)
 
 
+#: dmtcp_command exit codes for coordinator refusals -- the reply itself
+#: cannot travel through the main task's return value (process teardown
+#: rejects the done-future first), so the exit code carries the verdict.
+EXIT_BUSY = 3
+EXIT_ABORTED = 4
+
+
 def dmtcp_command_main(sys: Sys, argv):
     """The `dmtcp command <cmd>` client (Section 3)."""
     cmd = argv[1]
@@ -452,4 +636,10 @@ def dmtcp_command_main(sys: Sys, argv):
     asm = FrameAssembler()
     reply = yield from recv_frame(sys, fd, asm)
     yield from sys.close(fd)
-    return reply[0] if reply else None
+    body = reply[0] if reply else None
+    kind = body.get("kind") if isinstance(body, dict) else None
+    if kind == "busy":
+        yield from sys.exit(EXIT_BUSY)
+    elif kind == "aborted":
+        yield from sys.exit(EXIT_ABORTED)
+    return body

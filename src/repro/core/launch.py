@@ -54,6 +54,7 @@ class DmtcpComputation:
         incremental: bool = False,
         interval: float = 0.0,
         relay: bool = False,
+        supervise: bool = False,
     ):
         self.world = world
         self.coordinator_host = coordinator_host or world.machine.hostnames[0]
@@ -62,7 +63,15 @@ class DmtcpComputation:
         self.compression = compression
         self.incremental = incremental
         self.relay = relay
+        #: supervision layer: coordinator watchdog + heartbeat, member
+        #: barrier timeouts with rollback, atomic checksummed images
+        self.supervise = supervise
         self.state = CoordinatorState(port=port, interval=interval, tracer=world.tracer)
+        if supervise:
+            dspec = world.spec.dmtcp
+            self.state.supervise = True
+            self.state.barrier_timeout_s = dspec.barrier_timeout_s
+            self.state.heartbeat_interval_s = dspec.heartbeat_interval_s
         #: connection-table stash across exec (the hijack library persists
         #: its state across the exec boundary; Section 4.2's exec wrappers)
         self._exec_stash: dict[tuple[str, int], DmtcpRuntime] = {}
@@ -110,6 +119,9 @@ class DmtcpComputation:
             env["DMTCP_INCREMENTAL"] = "1"
         if self.relay:
             env["DMTCP_RELAY_PORT"] = str(self.relay_port)
+        if self.supervise:
+            env["DMTCP_SUPERVISE"] = "1"
+            env["DMTCP_ATOMIC_IMAGES"] = "1"
         return env
 
     def _hijack_factory(self, world: World, process, base_sys) -> WrappedSys:
@@ -173,7 +185,9 @@ class DmtcpComputation:
     def request_checkpoint(self, kill: bool = False, forked: bool = False):
         """Issue ``dmtcp command --checkpoint`` (non-blocking).
 
-        Returns a handle dict whose "outcome" key is filled on completion.
+        Returns a handle dict whose "outcome" key is filled on completion:
+        a :class:`CheckpointOutcome` on success, or the coordinator's
+        refusal kind (``"busy"``, ``"aborted"``) as a plain string.
         """
         handle: dict = {"outcome": None}
 
@@ -190,7 +204,25 @@ class DmtcpComputation:
             argv.append("--forked")
         env = dict(self.base_env())
         env.pop(HIJACK_ENV)  # utilities are not themselves checkpointed
-        self.world.spawn_process(self.coordinator_host, "dmtcp_command", argv, env)
+        proc = self.world.spawn_process(
+            self.coordinator_host, "dmtcp_command", argv, env
+        )
+
+        def on_exit() -> None:
+            # the command client exited: a refusal travels in the exit
+            # code (the coordinator's "busy"/"aborted" reply); otherwise
+            # on_complete resolves the handle when the checkpoint lands
+            from repro.core.coordinator import EXIT_ABORTED, EXIT_BUSY
+
+            refusal = {EXIT_BUSY: "busy", EXIT_ABORTED: "aborted"}.get(
+                proc.exit_code
+            )
+            if refusal is not None and handle["outcome"] is None:
+                handle["outcome"] = refusal
+                if on_complete in self.state.on_checkpoint_complete:
+                    self.state.on_checkpoint_complete.remove(on_complete)
+
+        proc.exited.add_done(on_exit)
         return handle
 
     def checkpoint(
@@ -210,12 +242,16 @@ class DmtcpComputation:
             if process.env.get(HIJACK_ENV):
                 self.world.destroy_process(process, keep_continuations=True)
 
-    def restart(
+    def restart_async(
         self,
         plan=None,
         placement: Optional[dict[str, str]] = None,
-    ) -> RestartOutcome:
-        """Run the generated restart script: one dmtcp_restart per host.
+    ) -> dict:
+        """Spawn the restart (one dmtcp_restart per host) without blocking.
+
+        Usable from inside a running simulation (the AutoRestartSupervisor
+        fires it from an engine timer, where ``run_until`` would recurse).
+        Returns a handle dict whose "outcome" key is filled on completion.
 
         ``placement`` optionally relocates an original host's processes to
         a different host (the discovery service finds the new addresses).
@@ -241,11 +277,60 @@ class DmtcpComputation:
                 self._copy_images(orig_host, target, paths)
             env = dict(self.base_env())
             env.pop(HIJACK_ENV)  # the restart process itself is not hijacked
-            self.world.spawn_process(
-                target, "dmtcp_restart", ["dmtcp_restart", str(total), *paths], env
-            )
+            argv = ["dmtcp_restart"]
+            if self.supervise:
+                argv.append("--validate")  # verify image manifests
+            argv.extend([str(total), *paths])
+            self.world.spawn_process(target, "dmtcp_restart", argv, env)
+        return handle
+
+    def restart(
+        self,
+        plan=None,
+        placement: Optional[dict[str, str]] = None,
+    ) -> RestartOutcome:
+        """Run the generated restart script and block (in virtual time)."""
+        handle = self.restart_async(plan, placement)
         self.world.engine.run_until(lambda: handle["outcome"] is not None)
         return handle["outcome"]
+
+    def respawn_coordinator(self):
+        """Bring up a replacement coordinator after the original died.
+
+        The CoordinatorState (including checkpoint history, the restart
+        discovery service's knowledge, and the supervision settings)
+        survives in this object; only connection-scoped state is reset.
+        Members reconnect on their own (supervised managers retry with
+        backoff), so the new coordinator starts with an empty member set
+        that refills within a few heartbeats.
+        """
+        state = self.state
+        tracer = state.tracer
+        # close any barrier spans left open by the crash mid-checkpoint
+        for name in list(state.barrier_open):
+            state.barrier_open.pop(name)
+            state.barrier_last_arrival.pop(name, None)
+            if tracer is not None:
+                tracer.end(
+                    f"coordinator/barrier:{name}", name, cat="barrier", aborted=True
+                )
+        state.members = {}
+        state.restarter_fds = set()
+        state.barrier_arrivals = {}
+        state.barrier_counts = {}
+        state.barrier_relay_fds = {}
+        state.pending_command_fds = []
+        state.done_fds = set()
+        state.records = []
+        state.images_by_host = {}
+        state.phase = "idle"
+        state.last_progress = 0.0
+        if tracer is not None:
+            tracer.count("coord.respawns")
+        self.coordinator_process = self.world.spawn_process(
+            self.coordinator_host, "dmtcp_coordinator", argv=["dmtcp_coordinator"]
+        )
+        return self.coordinator_process
 
     def _copy_images(self, src_host: str, dst_host: str, paths: list[str]) -> None:
         """Make image files visible on the relocation target (as shared

@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.core import protocol as P
 from repro.core.imagefile import CheckpointImage, conn_key
 from repro.core.stats import CheckpointRecord, StageClock
-from repro.errors import SyscallError
+from repro.errors import CheckpointAborted, SyscallError
 from repro.obs.tracer import proc_track
 from repro.kernel.streams import CTRL_DRAIN_TOKEN, FrameAssembler
 from repro.kernel.syscalls import Sys, connect_retry, recv_frame, send_frame
@@ -41,21 +41,40 @@ def coord_send(sys: Sys, fd: int, message: dict):
     yield from send_frame(sys, fd, message, P.CTL_FRAME_BYTES)
 
 
-def coord_recv(sys: Sys, fd: int, asm: FrameAssembler):
+def coord_recv(sys: Sys, fd: int, asm: FrameAssembler, timeout: Optional[float] = None):
     """Receive one control message (None on disconnect)."""
-    result = yield from recv_frame(sys, fd, asm)
+    result = yield from recv_frame(sys, fd, asm, timeout=timeout)
     if result is None:
         return None
     return result[0]
 
 
-def barrier(sys: Sys, fd: int, asm: FrameAssembler, name: str):
-    """Arrive at a cluster-wide barrier and wait for its release."""
+def barrier(sys: Sys, fd: int, asm: FrameAssembler, name: str, timeout: Optional[float] = None):
+    """Arrive at a cluster-wide barrier and wait for its release.
+
+    With supervision on, ``timeout`` bounds the wait for the release
+    frame; a coordinator-sent abort or a timeout raises
+    CheckpointAborted so the caller can roll the process back to
+    RUNNING instead of hanging forever on a dead peer's quorum slot.
+    """
     yield from coord_send(sys, fd, P.msg(P.MSG_BARRIER, name=name))
     while True:
-        message = yield from coord_recv(sys, fd, asm)
+        try:
+            message = yield from coord_recv(sys, fd, asm, timeout=timeout)
+        except SyscallError as err:
+            if err.errno == "ETIMEDOUT":
+                raise CheckpointAborted(
+                    f"barrier {name!r}: no release within {timeout}s"
+                )
+            raise
         if message is None:
             raise SyscallError("ECONNRESET", "coordinator vanished at barrier")
+        if message["kind"] == P.MSG_CKPT_ABORT:
+            exc = CheckpointAborted(
+                message.get("reason", "coordinator aborted the checkpoint")
+            )
+            exc.from_coordinator = True
+            raise exc
         if message["kind"] == P.MSG_BARRIER_RELEASE and message["name"] == name:
             return
 
@@ -104,25 +123,118 @@ def manager_main(runtime: "DmtcpRuntime", restart_image: Optional[CheckpointImag
         bchan = (bfd, FrameAssembler())
     else:
         bchan = (fd, asm)
+    supervise = env.get("DMTCP_SUPERVISE") == "1"
+    spec = runtime.world.spec.dmtcp
     if restart_image is not None:
-        yield from _rejoin_after_restart(sys, runtime, fd, asm, bchan, restart_image)
+        try:
+            yield from _rejoin_after_restart(sys, runtime, fd, asm, bchan, restart_image)
+        except (SyscallError, CheckpointAborted):
+            # a peer died mid-restart: this attempt is void; exit so the
+            # supervisor can retry the whole gang from the images
+            yield from sys.exit(1)
 
     while True:
-        message = yield from coord_recv(sys, fd, asm)
+        try:
+            message = yield from coord_recv(
+                sys, fd, asm,
+                timeout=spec.member_recv_timeout_s if supervise else None,
+            )
+        except SyscallError as err:
+            if err.errno == "ETIMEDOUT":
+                # quiet channel: probe the coordinator before declaring
+                # it dead (a healthy one just has nothing to say)
+                try:
+                    yield from coord_send(sys, fd, P.msg(P.MSG_PING))
+                    continue
+                except SyscallError:
+                    pass
+            if not supervise:
+                raise
+            reconnected = yield from _reconnect_coordinator(sys, runtime)
+            if reconnected is None:
+                return  # coordinator never came back; give up
+            fd, asm = reconnected
+            if not relay_port:
+                bchan = (fd, asm)
+            continue
         if message is None:
+            if supervise:
+                reconnected = yield from _reconnect_coordinator(sys, runtime)
+                if reconnected is None:
+                    return
+                fd, asm = reconnected
+                if not relay_port:
+                    bchan = (fd, asm)
+                continue
             return  # coordinator gone; computation is over
         if message["kind"] == P.MSG_CHECKPOINT:
-            yield from run_checkpoint(sys, runtime, fd, asm, bchan, message)
-            if message.get("kill"):
+            ok = yield from run_checkpoint(sys, runtime, fd, asm, bchan, message)
+            if ok and message.get("kill"):
                 runtime.computation.retire_checkpointed_process(process)
                 return
         elif message["kind"] == "die":
             # `dmtcp command --kill`: exit without checkpointing
             yield from sys.exit(0)
+        # anything else (stale abort frames, pings) is ignored here
+
+
+def _reconnect_coordinator(sys: Sys, runtime: "DmtcpRuntime"):
+    """Supervised mode: the coordinator died; wait for its replacement.
+
+    Retries with exponential backoff until a new coordinator accepts the
+    connection, then re-registers with a fresh HELLO.  Returns the new
+    (fd, assembler) pair, or None when every attempt failed.
+    """
+    process = runtime.process
+    env = process.env
+    spec = runtime.world.spec.dmtcp
+    host = env["DMTCP_COORD_HOST"]
+    port = int(env["DMTCP_COORD_PORT"])
+    old_fd = runtime.coord_fd
+    if old_fd is not None:
+        try:
+            yield from sys.close(old_fd)
+        except SyscallError:
+            pass
+    delay = spec.reconnect_backoff_s
+    for _attempt in range(spec.reconnect_attempts):
+        yield from sys.sleep(delay)
+        delay = min(delay * 2, spec.reconnect_backoff_max_s)
+        fd = yield from sys.socket()
+        try:
+            yield from sys.connect(fd, host, port)
+        except SyscallError:
+            try:
+                yield from sys.close(fd)
+            except SyscallError:
+                pass
+            continue
+        yield from sys.fcntl(fd, "F_SETFD_CLOEXEC", 1)
+        runtime.coord_fd = fd
+        asm = FrameAssembler()
+        yield from coord_send(
+            sys,
+            fd,
+            P.msg(
+                P.MSG_HELLO,
+                host=process.node.hostname,
+                vpid=runtime.vpid,
+                program=process.program,
+                restart=False,
+            ),
+        )
+        runtime.world.tracer.count("dmtcp.coordinator_reconnects")
+        return fd, asm
+    return None
 
 
 def run_checkpoint(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: FrameAssembler, bchan: tuple, message: dict):
-    """Stages 2-7 of Figure 1, executed in every checkpointed process."""
+    """Stages 2-7 of Figure 1, executed in every checkpointed process.
+
+    Returns True when the checkpoint completed, False when it was
+    aborted and rolled back (supervised mode only -- without
+    supervision any failure propagates as before).
+    """
     process = runtime.process
     world = runtime.world
     tracer = world.tracer
@@ -132,12 +244,48 @@ def run_checkpoint(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: FrameAssembl
     runtime.in_checkpoint = True
     tracer.count("dmtcp.checkpoints_started")
     _fire_hook(runtime, "pre-checkpoint", ckpt_id=ckpt_id)
+    supervise = process.env.get("DMTCP_SUPERVISE") == "1"
+    timeout = world.spec.dmtcp.member_recv_timeout_s if supervise else None
+    # rollback bookkeeping: which irreversible steps have already run
+    ctx: dict = {
+        "stage": None, "suspended": False, "drained": {},
+        "image_path": None, "image_committed": False, "refill_done": False,
+    }
+    try:
+        yield from _checkpoint_stages(
+            sys, runtime, fd, asm, bchan, message, clock, ctx, timeout
+        )
+        return True
+    except (SyscallError, CheckpointAborted) as err:
+        if not supervise:
+            raise
+        yield from _rollback_checkpoint(sys, runtime, fd, clock, ctx, err)
+        return False
+
+
+def _checkpoint_stages(
+    sys: Sys,
+    runtime: "DmtcpRuntime",
+    fd: int,
+    asm: FrameAssembler,
+    bchan: tuple,
+    message: dict,
+    clock: StageClock,
+    ctx: dict,
+    timeout: Optional[float],
+):
+    process = runtime.process
+    world = runtime.world
+    tracer = world.tracer
+    ckpt_id = message["ckpt_id"]
 
     # ---- stage 2: suspend user threads --------------------------------
     clock.begin("suspend")
+    ctx["stage"] = "suspend"
     while runtime.delay_count > 0:  # dmtcpaware critical section
         yield from sys.sleep(0.001)
     yield from sys.suspend_threads()
+    ctx["suspended"] = True
     # external (non-DMTCP) peers cannot participate in drain/restore:
     # their connections are closed now; the peers reconnect afterwards
     # (the TightVNC/vncviewer pattern, Section 5.1)
@@ -153,26 +301,30 @@ def run_checkpoint(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: FrameAssembl
             runtime.saved_owners[sfd] = yield from sys.fcntl(sfd, "F_GETOWN")
         except SyscallError:
             continue  # fd closed since recorded
-    yield from barrier(sys, bchan[0], bchan[1], P.BARRIER_SUSPENDED)
+    yield from barrier(sys, bchan[0], bchan[1], P.BARRIER_SUSPENDED, timeout)
     clock.end("suspend")
+    ctx["stage"] = None
 
     # ---- stage 3: elect shared-FD leaders ------------------------------
     clock.begin("elect")
+    ctx["stage"] = "elect"
     for sfd in runtime.socket_fds():
         try:
             yield from sys.fcntl(sfd, "F_SETOWN", process.pid)
         except SyscallError:
             continue
-    yield from barrier(sys, bchan[0], bchan[1], P.BARRIER_ELECTED)
+    yield from barrier(sys, bchan[0], bchan[1], P.BARRIER_ELECTED, timeout)
     clock.end("elect")
+    ctx["stage"] = None
 
     # ---- stage 4: drain kernel buffers ---------------------------------
     clock.begin("drain")
+    ctx["stage"] = "drain"
     led = yield from _led_endpoints(sys, runtime)
-    drained: dict[int, list] = {}
+    drained: dict[int, list] = ctx["drained"]
     threads = []
     for sfd in led:
-        gen = _drain_endpoint(Sys(), runtime, sfd, drained)
+        gen = _drain_endpoint(Sys(), runtime, sfd, drained, timeout)
         threads.append(world.spawn_thread(process, gen, f"drain-fd{sfd}", kind="manager"))
     for t in threads:
         yield t.task.done_future
@@ -188,15 +340,18 @@ def run_checkpoint(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: FrameAssembl
         table_fd, 256 * max(len(runtime.conn_table), 1), payload=None
     )
     yield from sys.close(table_fd)
-    yield from barrier(sys, bchan[0], bchan[1], P.BARRIER_DRAINED)
+    yield from barrier(sys, bchan[0], bchan[1], P.BARRIER_DRAINED, timeout)
     clock.end("drain")
+    ctx["stage"] = None
 
     # ---- stage 5: write checkpoint to disk ------------------------------
     from repro.core import mtcp
 
     clock.begin("write")
+    ctx["stage"] = "write"
     image = mtcp.build_image(runtime, ckpt_id, drained)
     image_path = mtcp.image_path(runtime, ckpt_id)
+    ctx["image_path"] = image_path
     forked = bool(message.get("forked"))
     if forked:
         # forked checkpointing: a COW child compresses and writes in the
@@ -208,7 +363,11 @@ def run_checkpoint(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: FrameAssembl
         yield from sys.fork(_writer_child)
     else:
         yield from mtcp.write_image(sys, runtime, image, image_path)
-    yield from barrier(sys, bchan[0], bchan[1], P.BARRIER_CHECKPOINTED)
+    yield from barrier(sys, bchan[0], bchan[1], P.BARRIER_CHECKPOINTED, timeout)
+    # every member has finished its write: the on-disk set is globally
+    # consistent, so even if a later stage aborts the image must survive
+    # (incremental deltas may already chain to it next round)
+    ctx["image_committed"] = True
     if mtcp.incremental_enabled(process.env):
         # every process has finished writing (Barrier 5 released) and user
         # threads stay suspended until stage 7, so clearing dirty bits --
@@ -219,18 +378,24 @@ def run_checkpoint(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: FrameAssembl
         runtime.last_image_path = image_path
         runtime.chain_depth = image.chain_depth
     clock.end("write")
+    ctx["stage"] = None
 
     # ---- stage 6: refill kernel buffers ---------------------------------
     from repro.core.mtcp import endpoint_dead
 
     clock.begin("refill")
+    ctx["stage"] = "refill"
     alive = [
         sfd for sfd in led
         if sfd in process.fds and not endpoint_dead(process.get_fd(sfd))
     ]
-    yield from _refill_all(runtime, alive, drained)
-    yield from barrier(sys, bchan[0], bchan[1], P.BARRIER_REFILLED)
+    yield from _refill_all(runtime, alive, drained, timeout)
+    # the peers' re-sends have landed in our rx buffers: rolling back
+    # now must NOT requeue the drained data a second time
+    ctx["refill_done"] = True
+    yield from barrier(sys, bchan[0], bchan[1], P.BARRIER_REFILLED, timeout)
     clock.end("refill")
+    ctx["stage"] = None
 
     # ---- stage 7: restore owners, resume user threads -------------------
     for sfd, owner in runtime.saved_owners.items():
@@ -261,6 +426,61 @@ def run_checkpoint(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: FrameAssembl
     _fire_hook(runtime, "post-checkpoint", ckpt_id=ckpt_id)
 
 
+def _rollback_checkpoint(sys: Sys, runtime: "DmtcpRuntime", fd: int, clock: StageClock, ctx: dict, err: Exception):
+    """Abort path: undo the finished stages and return to RUNNING.
+
+    The checkpoint attempt dies; the computation survives.  Drained but
+    not-yet-refilled socket data is pushed back onto the *front* of each
+    receive buffer so the application still sees every byte exactly
+    once, in order.  Half-written artifacts are unlinked; a fully
+    written (post-Barrier-5) image is kept because incremental deltas
+    may already chain to it.
+    """
+    process = runtime.process
+    tracer = runtime.world.tracer
+    stage = ctx.get("stage")
+    if stage is not None:
+        clock.end(stage)  # balance the tracer's span stack
+    if not ctx.get("refill_done"):
+        for sfd, chunks in ctx.get("drained", {}).items():
+            entry = process.fds.get(sfd)
+            if entry is None or not chunks:
+                continue
+            rx = getattr(entry.description, "rx", None)
+            if rx is not None:
+                rx.requeue_front(chunks)
+    doomed = []
+    image_path = ctx.get("image_path")
+    if image_path:
+        doomed.append(image_path + ".tmp")
+        if not ctx.get("image_committed"):
+            doomed.extend([image_path, image_path + ".manifest"])
+    for path in doomed:
+        try:
+            yield from sys.unlink(path)
+        except SyscallError:
+            pass
+    for sfd, owner in getattr(runtime, "saved_owners", {}).items():
+        try:
+            yield from sys.fcntl(sfd, "F_SETOWN", owner)
+        except SyscallError:
+            continue
+    if ctx.get("suspended"):
+        yield from sys.resume_threads()
+    runtime.in_checkpoint = False
+    tracer.count("dmtcp.checkpoints_aborted")
+    if not getattr(err, "from_coordinator", False):
+        # local failure (ENOSPC, drain timeout): tell the coordinator so
+        # it aborts the other members too; best-effort, it may be dead
+        try:
+            yield from coord_send(
+                sys, fd, P.msg(P.MSG_CKPT_FAILED, reason=str(err))
+            )
+        except SyscallError:
+            pass
+    _fire_hook(runtime, "checkpoint-aborted", reason=str(err))
+
+
 def _rejoin_after_restart(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: FrameAssembler, bchan: tuple, image: CheckpointImage):
     """Restart steps 5-7 (Figure 2): rejoin at Barrier 5, refill, resume."""
     world = runtime.world
@@ -268,12 +488,18 @@ def _rejoin_after_restart(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: Frame
     track = proc_track(
         runtime.process.node.hostname, runtime.process.program, runtime.vpid
     )
-    yield from barrier(sys, bchan[0], bchan[1], "restart-" + P.BARRIER_CHECKPOINTED)
+    supervise = runtime.process.env.get("DMTCP_SUPERVISE") == "1"
+    timeout = world.spec.dmtcp.member_recv_timeout_s if supervise else None
+    yield from barrier(sys, bchan[0], bchan[1], "restart-" + P.BARRIER_CHECKPOINTED, timeout)
     tracer.begin(track, "refill", cat="restart")
-    dead_fds = {f.fd for f in image.fds if f.peer_dead}
-    led = sorted(set(image.drained) - dead_fds)
-    yield from _refill_all(runtime, led, image.drained)
-    yield from barrier(sys, bchan[0], bchan[1], "restart-" + P.BARRIER_REFILLED)
+    try:
+        dead_fds = {f.fd for f in image.fds if f.peer_dead}
+        led = sorted(set(image.drained) - dead_fds)
+        yield from _refill_all(runtime, led, image.drained, timeout)
+        yield from barrier(sys, bchan[0], bchan[1], "restart-" + P.BARRIER_REFILLED, timeout)
+    except (SyscallError, CheckpointAborted):
+        tracer.end(track, "refill", cat="restart")  # balance the span stack
+        raise
     for fd_img in image.fds:
         if fd_img.conn_key is not None and fd_img.owner_vpid:
             try:
@@ -323,8 +549,14 @@ def _led_endpoints(sys: Sys, runtime: "DmtcpRuntime"):
     return led
 
 
-def _drain_endpoint(sys: Sys, runtime: "DmtcpRuntime", sfd: int, out: dict):
-    """Stage 4 for one endpoint: flush with a token, then drain to it."""
+def _drain_endpoint(sys: Sys, runtime: "DmtcpRuntime", sfd: int, out: dict, timeout: Optional[float] = None):
+    """Stage 4 for one endpoint: flush with a token, then drain to it.
+
+    ``timeout`` (supervised mode) bounds each recv so a silently-crashed
+    peer -- which will never send its token -- cannot park this thread
+    forever; the partial drain is recorded and the barrier layer decides
+    the checkpoint's fate.
+    """
     spec = runtime.world.spec.dmtcp
     process = runtime.process
     ep = process.get_fd(sfd).peer  # is the peer side still open?
@@ -335,7 +567,10 @@ def _drain_endpoint(sys: Sys, runtime: "DmtcpRuntime", sfd: int, out: dict):
     chunks = []
     saw_token = False
     while True:
-        chunk = yield from sys.recv(sfd)
+        try:
+            chunk = yield from sys.recv(sfd, timeout=timeout)
+        except SyscallError:
+            break  # timed out waiting on a dead peer; keep the partial drain
         if chunk is None:  # EOF: peer closed before checkpoint
             break
         if chunk.ctrl == CTRL_DRAIN_TOKEN:
@@ -350,7 +585,7 @@ def _drain_endpoint(sys: Sys, runtime: "DmtcpRuntime", sfd: int, out: dict):
         key = conn_key(info.conn_id) if info and info.conn_id else None
         try:
             yield from sys.send(sfd, 64, data=("dmtcp-peer-info", key), ctrl="dmtcp-peer-info")
-            peer_info = yield from sys.recv(sfd)
+            peer_info = yield from sys.recv(sfd, timeout=timeout)
             assert peer_info is None or peer_info.ctrl == "dmtcp-peer-info"
         except SyscallError:
             pass
@@ -361,19 +596,19 @@ def _drain_endpoint(sys: Sys, runtime: "DmtcpRuntime", sfd: int, out: dict):
     out[sfd] = chunks
 
 
-def _refill_all(runtime: "DmtcpRuntime", led: list[int], drained: dict[int, list]):
+def _refill_all(runtime: "DmtcpRuntime", led: list[int], drained: dict[int, list], timeout: Optional[float] = None):
     """Stage 6: per-endpoint refill threads, then join them all."""
     world = runtime.world
     process = runtime.process
     threads = []
     for sfd in led:
-        gen = _refill_endpoint(Sys(), sfd, drained.get(sfd, []), world.tracer)
+        gen = _refill_endpoint(Sys(), sfd, drained.get(sfd, []), world.tracer, timeout)
         threads.append(world.spawn_thread(process, gen, f"refill-fd{sfd}", kind="manager"))
     for t in threads:
         yield t.task.done_future
 
 
-def _refill_endpoint(sys: Sys, sfd: int, my_drained: list, tracer=None):
+def _refill_endpoint(sys: Sys, sfd: int, my_drained: list, tracer=None, timeout: Optional[float] = None):
     """Send drained data back to its sender; re-send what the peer drained.
 
     Section 4.3 step 6: "DMTCP then sends the drained socket buffer data
@@ -388,7 +623,10 @@ def _refill_endpoint(sys: Sys, sfd: int, my_drained: list, tracer=None):
     except SyscallError:
         return  # peer vanished between drain and refill; nothing to do
     asm = FrameAssembler()
-    result = yield from recv_frame(sys, sfd, asm)
+    try:
+        result = yield from recv_frame(sys, sfd, asm, timeout=timeout)
+    except SyscallError:
+        return  # dead peer will never send its refill frame; give up
     if result is None:
         return  # peer side closed before checkpoint; nothing to re-send
     (tag, peer_chunks), _size = result

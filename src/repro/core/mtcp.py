@@ -35,6 +35,30 @@ def incremental_enabled(env: dict) -> bool:
     return env.get("DMTCP_INCREMENTAL", "0") == "1"
 
 
+def atomic_images_enabled(env: dict) -> bool:
+    """Crash-safe image writes (``DMTCP_ATOMIC_IMAGES=1``): write to a
+    ``.tmp`` sibling, fsync, rename into place, then record a checksummed
+    ``.manifest`` -- a node crash mid-write can never leave a torn file
+    under the final name."""
+    return env.get("DMTCP_ATOMIC_IMAGES", "0") == "1"
+
+
+def image_checksum(image: CheckpointImage) -> str:
+    """Deterministic content fingerprint recorded in the manifest.
+
+    The simulation has no literal byte stream to hash, so the checksum
+    covers the identity and size fields a torn or mismatched image would
+    get wrong."""
+    return (
+        f"{image.ckpt_id}:{image.hostname}:{image.vpid}:{image.program}:"
+        f"{image.image_bytes}:{image.stored_bytes}:{image.chain_depth}"
+    )
+
+
+#: Modeled size of a manifest sidecar file, bytes.
+MANIFEST_BYTES = 256
+
+
 def gzip_workers(runtime: "DmtcpRuntime") -> int:
     """Parallel gzip stream count for this process's images.
 
@@ -263,14 +287,41 @@ def write_image(sys: Sys, runtime: "DmtcpRuntime", image: CheckpointImage, path:
     tracer = world.tracer
     track = f"{image.hostname}/mtcp[{image.vpid}]"
     tracer.begin(track, "mtcp.write", cat="mtcp", path=path, delta=image.delta)
-    est = _estimate(
-        world, image.payload_regions(), image.compressed, image.gzip_workers
-    )
-    if est.compress_seconds > 0:
-        yield from sys.cpu(est.compress_seconds)
-    fd = yield from sys.open(path, "w")
-    yield from sys.write(fd, image.stored_bytes, payload=image)
-    yield from sys.close(fd)
+    try:
+        est = _estimate(
+            world, image.payload_regions(), image.compressed, image.gzip_workers
+        )
+        if est.compress_seconds > 0:
+            yield from sys.cpu(est.compress_seconds)
+        if atomic_images_enabled(runtime.process.env):
+            # crash-safe path: a torn write only ever exists as *.tmp,
+            # and the manifest (written last) certifies the final file
+            fd = yield from sys.open(path + ".tmp", "w")
+            yield from sys.write(fd, image.stored_bytes, payload=image)
+            yield from sys.fsync(fd)
+            yield from sys.close(fd)
+            yield from sys.rename(path + ".tmp", path)
+            mfd = yield from sys.open(path + ".manifest", "w")
+            yield from sys.write(
+                mfd,
+                MANIFEST_BYTES,
+                payload={
+                    "checksum": image_checksum(image),
+                    "ckpt_id": image.ckpt_id,
+                    "stored_bytes": image.stored_bytes,
+                    "delta": image.delta,
+                    "parent_image": image.parent_image,
+                },
+            )
+            yield from sys.fsync(mfd)
+            yield from sys.close(mfd)
+        else:
+            fd = yield from sys.open(path, "w")
+            yield from sys.write(fd, image.stored_bytes, payload=image)
+            yield from sys.close(fd)
+    except SyscallError:
+        tracer.end(track, "mtcp.write", cat="mtcp")  # balance the span stack
+        raise
     tracer.end(track, "mtcp.write", cat="mtcp")
     if tracer.enabled:
         page_bytes = world.spec.os.page_bytes
@@ -301,29 +352,43 @@ def write_image(sys: Sys, runtime: "DmtcpRuntime", image: CheckpointImage, path:
         )
 
 
-def read_image(sys: Sys, path: str):
+def read_image(sys: Sys, path: str, validate: bool = False):
     """Restart step 0: pull the image file back off storage.
 
     A delta image names its parent via ``parent_image``; the whole chain
     is read (honest I/O cost per file) and attached to the returned leaf
     image as ``image.chain``, base first, for restore_memory to replay.
+
+    With ``validate`` (the supervised path: ``dmtcp_restart --validate``)
+    each file's ``.manifest`` sidecar, when present, is read back and its
+    checksum compared -- a torn or swapped image fails loudly here
+    instead of resuming a corrupt computation.
     """
-    leaf = yield from _read_one_image(sys, path)
+    leaf = yield from _read_one_image(sys, path, validate)
     chain = [leaf]
     node = leaf
     while node.parent_image is not None:
-        node = yield from _read_one_image(sys, node.parent_image)
+        node = yield from _read_one_image(sys, node.parent_image, validate)
         chain.append(node)
     leaf.chain = list(reversed(chain))
     return leaf
 
 
-def _read_one_image(sys: Sys, path: str):
+def _read_one_image(sys: Sys, path: str, validate: bool = False):
     fd = yield from sys.open(path, "r")
     nbytes, payload = yield from sys.read(fd, 1 << 62)
     yield from sys.close(fd)
     if payload is None:
         raise SyscallError("EIO", f"no checkpoint payload in {path}")
+    if validate:
+        st = yield from sys.stat(path + ".manifest")
+        if st is not None:
+            mfd = yield from sys.open(path + ".manifest", "r")
+            _n, manifest = yield from sys.read(mfd, 1 << 62)
+            yield from sys.close(mfd)
+            expected = manifest.get("checksum") if manifest else None
+            if expected != image_checksum(payload):
+                raise SyscallError("EIO", f"checksum mismatch in {path}")
     return payload
 
 

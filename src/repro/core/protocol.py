@@ -36,10 +36,16 @@ MSG_HELLO = "hello"  # {host, pid, vpid, program}
 MSG_BARRIER = "barrier"  # {name}
 MSG_CKPT_DONE = "ckpt-done"  # {stats}
 MSG_GOODBYE = "goodbye"
+MSG_CKPT_FAILED = "ckpt-failed"  # {reason} -- member hit ENOSPC/abort locally
 
 # coordinator -> manager
 MSG_CHECKPOINT = "do-checkpoint"  # {ckpt_id, forked}
 MSG_BARRIER_RELEASE = "barrier-release"  # {name}
+MSG_CKPT_ABORT = "ckpt-abort"  # {reason} -- roll back to RUNNING
+
+# liveness (supervision layer; either direction)
+MSG_PING = "ping"
+MSG_PONG = "pong"
 
 # command client -> coordinator
 MSG_COMMAND = "command"  # {cmd: checkpoint|status|kill|interval, arg}

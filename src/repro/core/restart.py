@@ -52,11 +52,17 @@ def make_restart_program(computation: "DmtcpComputation"):
     """Build the dmtcp_restart program (registered with the world)."""
 
     def dmtcp_restart_main(sys: Sys, argv):
-        """argv: dmtcp_restart <total_processes> <image_path>..."""
+        """argv: dmtcp_restart [--validate] <total_processes> <image_path>...
+
+        ``--validate`` (the supervised path) verifies each image's
+        checksummed manifest before resuming from it.
+        """
         world = computation.world
         tracer = world.tracer
-        total = int(argv[1])
-        paths = argv[2:]
+        validate = "--validate" in argv
+        args = [a for a in argv[1:] if not a.startswith("--")]
+        total = int(args[0])
+        paths = args[1:]
         my_host = yield from sys.gethostname()
         my_pid = yield from sys.getpid()
         # pid-qualified: relocation can land several restarters on a host
@@ -77,7 +83,7 @@ def make_restart_program(computation: "DmtcpComputation"):
         tracer.begin(track, "image_read", cat="restart")
         images = []
         for path in paths:
-            images.append((yield from mtcp.read_image(sys, path)))
+            images.append((yield from mtcp.read_image(sys, path, validate=validate)))
         dur_read = tracer.end(track, "image_read", cat="restart", n=len(paths))
 
         # ---- step 1: reopen files, recreate ptys, re-bind listeners ------
@@ -94,14 +100,19 @@ def make_restart_program(computation: "DmtcpComputation"):
                     yield from sys.lseek(fd, f.offset)
                     desc_fd[key] = fd
                 elif f.kind == "listener":
+                    # the cluster-wide port claim happens at listen(), so
+                    # the EADDRINUSE guard must cover both calls
                     lfd = yield from sys.socket()
                     try:
                         yield from sys.bind(lfd, f.bound_port or 0, f.bound_path)
+                        yield from sys.listen(lfd)
                     except SyscallError as err:
                         if err.errno != "EADDRINUSE":
                             raise
+                        yield from sys.close(lfd)
+                        lfd = yield from sys.socket()
                         yield from sys.bind(lfd, 0)  # relocated: take a new port
-                    yield from sys.listen(lfd)
+                        yield from sys.listen(lfd)
                     desc_fd[key] = lfd
                 elif f.kind == "pty" and ("pty", f.pty_name, "master") not in desc_fd:
                     mfd, sfd = yield from sys.openpty()
@@ -291,6 +302,12 @@ def _advert_reader(sys: Sys, cfd: int, asm: FrameAssembler, adverts: dict):
         body = message[0]
         if body["kind"] == P.MSG_ADVERTISE_BCAST:
             adverts[body["key"]] = (body["host"], body["port"])
+        elif body["kind"] == P.MSG_CKPT_ABORT:
+            # the coordinator gave up on this restart (a peer restarter
+            # died or stalled): exit now so half-restored descriptions --
+            # in particular re-bound app listener ports -- are released
+            # before the supervisor's next attempt
+            yield from sys.exit(1)
 
 
 def _restore_acceptor(sys: Sys, rlfd: int, expected: int, desc_fd: dict, done: dict):

@@ -53,6 +53,12 @@ class CheckpointError(ReproError):
     """The DMTCP layer failed to checkpoint or restart a computation."""
 
 
+class CheckpointAborted(CheckpointError):
+    """An in-flight checkpoint was abandoned (dead peer, barrier timeout,
+    coordinator abort).  The manager rolls its process back to RUNNING;
+    the computation itself survives."""
+
+
 class RestartError(CheckpointError):
     """Restart-specific failure (missing image, discovery timeout, ...)."""
 

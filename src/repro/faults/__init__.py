@@ -1,0 +1,32 @@
+"""Deterministic fault injection and self-healing supervision.
+
+The subsystem has three parts, mirroring how the paper's failure story
+is exercised in practice:
+
+* :mod:`repro.faults.plan` -- *what* goes wrong and when: an explicit
+  schedule of :class:`FaultEvent`\\ s, or a seeded Poisson process
+  parameterized by MTBF, so every chaos run replays bit-identically.
+* :mod:`repro.faults.injector` -- *how* it goes wrong: node crashes
+  (silent vanish, no FIN), network partitions and NIC flaps, ENOSPC on
+  the checkpoint directory, CPU-hogged slow hosts, coordinator death.
+  Events fire on virtual-time timers or on named checkpoint phases via
+  tracer span hooks.
+* :mod:`repro.faults.supervisor` -- *who* cleans up: the
+  :class:`AutoRestartSupervisor` respawns a dead coordinator, detects a
+  decimated computation, and restarts it from the newest *valid* (whole,
+  checksummed) images with exponential backoff, relocating processes off
+  dead nodes.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan
+from repro.faults.supervisor import AutoRestartSupervisor, find_newest_valid_plan
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "AutoRestartSupervisor",
+    "find_newest_valid_plan",
+]

@@ -1,0 +1,171 @@
+"""The fault injector: executes a :class:`FaultPlan` against a world.
+
+Timed events ride ordinary engine timers; phase-triggered events arm a
+tracer span hook and strike the first time the named span opens (the
+hook fires whether or not trace recording is enabled, so injection does
+not require tracing).  Every injection is appended to ``self.log`` with
+its virtual timestamp, which the chaos CLI prints and the chaos bench
+embeds in ``BENCH_faults.json``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.kernel.process import ProgramSpec, RegionSpec
+from repro.obs.tracer import PH_BEGIN
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.launch import DmtcpComputation
+    from repro.kernel.world import World
+
+#: Tiny footprint for the injected CPU hogs.
+_HOG_SPEC = ProgramSpec(
+    "chaos_cpuhog",
+    regions=(RegionSpec("code", 64 * 1024, "code"), RegionSpec("heap", 64 * 1024, "text")),
+)
+
+
+def _cpuhog_main(sys, argv):
+    """Burn a core forever (terminated by the injector's heal timer)."""
+    while True:
+        yield from sys.cpu(0.01)
+
+
+class FaultInjector:
+    """Arms and fires the events of a :class:`FaultPlan`."""
+
+    def __init__(self, world: "World", computation: Optional["DmtcpComputation"] = None):
+        self.world = world
+        self.computation = computation
+        #: (virtual time, kind, target, detail) per injected fault
+        self.log: list[dict] = []
+        self._pending_phase: list[FaultEvent] = []
+        self._hook_armed = False
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+    def arm(self, plan: FaultPlan) -> None:
+        """Schedule every event of ``plan`` (timers + span hooks)."""
+        engine = self.world.engine
+        for event in plan:
+            if event.at is not None:
+                engine.call_at(event.at, self.inject, event)
+            else:
+                self._pending_phase.append(event)
+        if self._pending_phase and not self._hook_armed:
+            self.world.tracer.add_span_hook(self._on_span)
+            self._hook_armed = True
+
+    def disarm(self) -> None:
+        """Drop phase triggers (timed events already scheduled still fire)."""
+        self._pending_phase = []
+        if self._hook_armed:
+            self.world.tracer.remove_span_hook(self._on_span)
+            self._hook_armed = False
+
+    def _on_span(self, ph: str, track: str, name: str, now: float) -> None:
+        if ph != PH_BEGIN or not self._pending_phase:
+            return
+        remaining = []
+        for event in self._pending_phase:
+            if event.phase in (track, name):
+                # one-shot: the phase trigger fires exactly once
+                self.inject(event)
+            else:
+                remaining.append(event)
+        self._pending_phase = remaining
+        if not remaining and self._hook_armed:
+            self.world.tracer.remove_span_hook(self._on_span)
+            self._hook_armed = False
+
+    # ------------------------------------------------------------------
+    # Firing
+    # ------------------------------------------------------------------
+    def inject(self, event: FaultEvent) -> None:
+        """Execute one fault now (also usable directly, without a plan)."""
+        world = self.world
+        network = world.machine.network
+        now = world.engine.now
+        detail = ""
+        if event.kind == "crash-node":
+            if not world.node_state(event.target).down:
+                world.crash_node(event.target)
+            if event.duration:
+                world.engine.call_after(
+                    event.duration, world.reboot_node, event.target
+                )
+                detail = f"reboot after {event.duration:g}s"
+        elif event.kind == "reboot-node":
+            world.reboot_node(event.target)
+        elif event.kind == "crash-process":
+            victims = [
+                p
+                for p in world.live_processes()
+                if p.node.hostname == event.target and p.env.get("DMTCP_HIJACK")
+            ]
+            if victims:
+                world.crash_process(victims[0])
+                detail = f"{victims[0].program}[{victims[0].pid}]"
+        elif event.kind == "partition":
+            network.partition(event.target, event.peer)
+            if event.duration:
+                world.engine.call_after(
+                    event.duration, network.heal, event.target, event.peer
+                )
+                detail = f"heals after {event.duration:g}s"
+        elif event.kind == "isolate":
+            network.isolate(event.target)
+            if event.duration:
+                world.engine.call_after(event.duration, network.heal, event.target)
+                detail = f"heals after {event.duration:g}s"
+        elif event.kind == "enospc":
+            until = now + (event.duration or 3600.0)
+            world.set_disk_full(event.target, until)
+            detail = f"until t={until:.3f}s"
+        elif event.kind == "slow-host":
+            self._hog_host(event.target, event.duration or 10.0)
+            detail = f"for {event.duration or 10.0:g}s"
+        elif event.kind == "kill-coordinator":
+            comp = self.computation
+            if comp is not None and comp.coordinator_process.alive:
+                world.crash_process(comp.coordinator_process)
+                detail = "coordinator crashed"
+        tracer = world.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "faults", f"fault:{event.kind}", cat="fault",
+                target=event.target, detail=detail,
+            )
+        tracer.count("faults.injected")
+        self.log.append(
+            {
+                "t": round(now, 6),
+                "kind": event.kind,
+                "target": event.target,
+                "peer": event.peer,
+                "detail": detail,
+            }
+        )
+
+    def _hog_host(self, hostname: str, duration: float) -> None:
+        """Steal every core of ``hostname`` with runnable hogs."""
+        world = self.world
+        if "chaos_cpuhog" not in world.programs:
+            world.register_program("chaos_cpuhog", _cpuhog_main, _HOG_SPEC)
+        if world.node_state(hostname).down:
+            return
+        hogs = [
+            world.spawn_process(hostname, "chaos_cpuhog")
+            for _ in range(world.spec.cpu.cores)
+        ]
+
+        def _stop():
+            for hog in hogs:
+                if hog.alive:
+                    world.terminate_process(hog, code=0)
+                    world.reap_process(hog)
+
+        world.engine.call_after(duration, _stop)

@@ -1,0 +1,120 @@
+"""Fault schedules: explicit timelines or seeded MTBF processes.
+
+A :class:`FaultPlan` is pure data -- nothing here touches the world, so a
+plan can be rendered, diffed, and embedded in benchmark results.  The
+:class:`~repro.faults.injector.FaultInjector` executes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.sim.rng import RandomStreams
+
+#: Everything the injector knows how to break.
+FAULT_KINDS = (
+    "crash-node",  # power loss: silent process vanish, EHOSTDOWN spawns
+    "reboot-node",  # bring a crashed node back (empty process table)
+    "crash-process",  # one process vanishes silently (no FIN to peers)
+    "partition",  # sever the target<->peer path (heals after `duration`)
+    "isolate",  # unplug the target's NIC (heals after `duration`)
+    "enospc",  # checkpoint-dir writes fail with ENOSPC for `duration`
+    "slow-host",  # CPU-hog processes steal the target's cores for `duration`
+    "kill-coordinator",  # crash the coordinator process itself
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault.
+
+    Fired either at virtual time ``at`` or -- when ``phase`` is set --
+    the first time a tracer span whose track or name matches ``phase``
+    opens (e.g. ``"coordinator/barrier:drained"`` to strike exactly when
+    the drain barrier opens).
+    """
+
+    kind: str
+    target: Optional[str] = None  # hostname (or None where implied)
+    at: Optional[float] = None  # virtual seconds; None = phase-triggered
+    phase: Optional[str] = None  # span track or name to trigger on
+    peer: Optional[str] = None  # second host for "partition"
+    duration: float = 0.0  # heal/recover horizon for transient kinds
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if (self.at is None) == (self.phase is None):
+            raise ValueError("exactly one of at= or phase= must be set")
+
+    def describe(self) -> str:
+        """One-line human rendering (chaos CLI output)."""
+        when = f"t={self.at:.3f}s" if self.at is not None else f"phase={self.phase!r}"
+        parts = [self.kind, when]
+        if self.target:
+            parts.append(self.target)
+        if self.peer:
+            parts.append(f"<->{self.peer}")
+        if self.duration:
+            parts.append(f"for {self.duration:g}s")
+        return " ".join(parts)
+
+
+@dataclass
+class FaultPlan:
+    """An ordered set of faults to inject into one run."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+    seed: Optional[int] = None
+    mtbf_s: Optional[float] = None
+
+    @classmethod
+    def schedule(cls, events: Sequence[FaultEvent]) -> "FaultPlan":
+        """An explicit timeline, kept in firing order."""
+        timed = sorted(
+            (e for e in events if e.at is not None), key=lambda e: e.at
+        )
+        phased = [e for e in events if e.at is None]
+        return cls(events=timed + phased)
+
+    @classmethod
+    def poisson(
+        cls,
+        seed: int,
+        mtbf_s: float,
+        horizon_s: float,
+        targets: Sequence[str],
+        kind: str = "crash-node",
+        start_at: float = 0.0,
+        recover_after: float = 0.0,
+    ) -> "FaultPlan":
+        """Seeded memoryless failures: exponential inter-fault gaps.
+
+        The same ``(seed, mtbf_s, horizon_s, targets)`` always produces
+        the same plan -- the determinism the byte-identical
+        ``BENCH_faults.json`` acceptance check rides on.  Targets are
+        drawn uniformly per event.
+        """
+        rng = RandomStreams(seed).stream("faults")
+        events: list[FaultEvent] = []
+        t = start_at
+        while True:
+            t += float(rng.exponential(mtbf_s))
+            if t >= horizon_s:
+                break
+            target = targets[int(rng.integers(len(targets)))]
+            events.append(
+                FaultEvent(kind=kind, target=target, at=t, duration=recover_after)
+            )
+        return cls(events=events, seed=seed, mtbf_s=mtbf_s)
+
+    def describe(self) -> list[str]:
+        """One line per event, in plan order."""
+        return [e.describe() for e in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

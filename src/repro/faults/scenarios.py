@@ -1,0 +1,262 @@
+"""Chaos scenarios for ``python -m repro chaos`` and the chaos bench.
+
+Each scenario builds a supervised cluster, runs a communicating worker
+pair under interval checkpointing, injects a named class of faults, and
+returns a JSON-able report of what was injected and how the system
+recovered.  Everything in the report is virtual-time: the same scenario
+and seed produce a byte-identical report.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cluster import build_cluster
+from repro.core.launch import DmtcpComputation
+from repro.errors import SyscallError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.faults.supervisor import AutoRestartSupervisor, find_newest_valid_plan
+from repro.sim.rng import RandomStreams
+
+__all__ = ["SCENARIOS", "run_chaos", "run_mtbf"]
+
+#: workers live here; node00 is the coordinator's
+_WORKER_HOSTS = ("node01", "node02")
+_PORT = 9100
+
+
+def _chaos_apps(world) -> None:
+    """A resilient client/server pair: socket faults are survivable.
+
+    Both sides treat any :class:`SyscallError` on the data path as a
+    transient outage -- back off and retry -- so a silently crashed peer
+    or a healed partition never kills the survivor.  Recovery of lost
+    *state* is the supervisor's job, not the app's.
+    """
+
+    def server_main(sys, argv):
+        lfd = yield from sys.socket()
+        yield from sys.bind(lfd, _PORT)
+        yield from sys.listen(lfd)
+        cfd = yield from sys.accept(lfd)
+        while True:
+            try:
+                chunk = yield from sys.recv(cfd)
+                if chunk is None:
+                    yield from sys.sleep(0.5)
+                    continue
+                yield from sys.send(cfd, chunk.nbytes, data=chunk.data)
+            except SyscallError:
+                yield from sys.sleep(0.5)
+
+    def client_main(sys, argv):
+        from repro.kernel.syscalls import connect_retry
+
+        fd = yield from sys.socket()
+        yield from connect_retry(sys, fd, _WORKER_HOSTS[0], _PORT)
+        step = 0
+        while True:
+            try:
+                yield from sys.send(fd, 2048, data=("work", step))
+                reply = yield from sys.recv(fd)
+                if reply is None:
+                    yield from sys.sleep(0.5)
+                    continue
+                step += 1
+                yield from sys.cpu(0.005)
+                yield from sys.sleep(0.2)
+            except SyscallError:
+                yield from sys.sleep(0.5)
+
+    world.register_program("chaos_server", server_main)
+    world.register_program("chaos_client", client_main)
+
+
+def _build(seed: int, interval: float):
+    """Supervised 3-node cluster: coordinator + resilient worker pair."""
+    world = build_cluster(n_nodes=3, seed=seed)
+    world.tracer.enable()  # counters (aborts, reconnects) feed the report
+    _chaos_apps(world)
+    comp = DmtcpComputation(world, interval=interval, supervise=True)
+    comp.launch(_WORKER_HOSTS[0], "chaos_server")
+    comp.launch(_WORKER_HOSTS[1], "chaos_client")
+    sup = AutoRestartSupervisor(world, comp, expected=2)
+    sup.start()
+    return world, comp, sup
+
+
+def _complete_checkpoints(comp, expected: int = 2):
+    """Checkpoints covering the whole computation (partials excluded)."""
+    return [o for o in comp.state.history if o.plan.total_processes >= expected]
+
+
+def _report(name, seed, world, comp, sup, inj, extra: Optional[dict] = None) -> dict:
+    live = [
+        p for p in world.live_processes() if p.env.get("DMTCP_HIJACK")
+    ]
+    out = {
+        "scenario": name,
+        "seed": seed,
+        "sim_seconds": round(world.engine.now, 6),
+        "faults": inj.log,
+        "supervisor": {"stats": sup.stats, "events": sup.events},
+        "checkpoints_completed": len(comp.state.history),
+        "checkpoints_aborted": int(
+            world.tracer.snapshot().get("dmtcp.checkpoints_aborted", 0)
+        ),
+        "live_members_at_end": len(live),
+        "process_failures": len(world.scheduler.failures),
+    }
+    if extra:
+        out.update(extra)
+    return out
+
+
+def _scenario_crash(seed: int, quick: bool) -> dict:
+    """One worker node loses power mid-run; auto-restart from images."""
+    world, comp, sup = _build(seed, interval=5.0)
+    inj = FaultInjector(world, comp)
+    inj.arm(FaultPlan.schedule([FaultEvent("crash-node", target="node02", at=12.0)]))
+    world.engine.run(until=25.0)
+    sup.stop()
+    return _report("crash", seed, world, comp, sup, inj)
+
+
+def _scenario_partition(seed: int, quick: bool) -> dict:
+    """The coordinator<->worker path severs mid-checkpoint.
+
+    The drain barrier can never be released across the cut, so the
+    members' barrier timeouts abort the checkpoint and roll the cluster
+    back to RUNNING; after the partition heals the next interval
+    checkpoint completes normally.
+    """
+    world, comp, sup = _build(seed, interval=5.0)
+    inj = FaultInjector(world, comp)
+    inj.arm(
+        FaultPlan.schedule([
+            FaultEvent(
+                "partition",
+                target=comp.coordinator_host,
+                peer="node01",
+                phase="coordinator/barrier:drained",
+                duration=8.0,
+            ),
+        ])
+    )
+    world.engine.run(until=30.0)
+    sup.stop()
+    aborted = int(world.tracer.snapshot().get("dmtcp.checkpoints_aborted", 0))
+    return _report(
+        "partition", seed, world, comp, sup, inj,
+        extra={"recovered_after_heal": len(comp.state.history) >= 2 and aborted >= 1},
+    )
+
+
+def _scenario_enospc(seed: int, quick: bool) -> dict:
+    """The checkpoint directory fills up; writes abort, then recover."""
+    world, comp, sup = _build(seed, interval=5.0)
+    inj = FaultInjector(world, comp)
+    inj.arm(
+        FaultPlan.schedule([
+            FaultEvent("enospc", target="node01", at=4.0, duration=7.0),
+        ])
+    )
+    world.engine.run(until=25.0)
+    sup.stop()
+    return _report("enospc", seed, world, comp, sup, inj)
+
+
+def _scenario_coordinator(seed: int, quick: bool) -> dict:
+    """The coordinator dies; the supervisor respawns it and the members
+    reconnect with backoff -- interval checkpointing resumes."""
+    world, comp, sup = _build(seed, interval=5.0)
+    inj = FaultInjector(world, comp)
+    inj.arm(FaultPlan.schedule([FaultEvent("kill-coordinator", at=8.0)]))
+    world.engine.run(until=40.0)
+    sup.stop()
+    return _report(
+        "coordinator", seed, world, comp, sup, inj,
+        extra={"reconnects": int(
+            world.tracer.snapshot().get("dmtcp.coordinator_reconnects", 0)
+        )},
+    )
+
+
+def _scenario_mtbf(seed: int, quick: bool) -> dict:
+    """The acceptance sweep at its default operating point."""
+    if quick:
+        return run_mtbf(seed, crashes=5, interval_s=10.0, mtbf_s=30.0)
+    return run_mtbf(seed, crashes=20, interval_s=50.0, mtbf_s=150.0)
+
+
+def run_mtbf(
+    seed: int, crashes: int, interval_s: float, mtbf_s: float
+) -> dict:
+    """Survive ``crashes`` seeded node crashes; bound the lost work.
+
+    Interval checkpointing at ``interval_s``; worker nodes crash with
+    exponential gaps (mean ``mtbf_s``), each gap sampled after the
+    previous recovery has a fresh complete checkpoint behind it (a crash
+    landing mid-restart would re-lose the same interval, which says
+    nothing new).  Per crash we record the virtual seconds of work at
+    risk: crash time minus the newest complete valid checkpoint.
+    """
+    crashes_target = crashes
+    world, comp, sup = _build(seed, interval=interval_s)
+    inj = FaultInjector(world, comp)
+    rng = RandomStreams(seed).stream("chaos-mtbf")
+    engine = world.engine
+    lost_work: list[float] = []
+    ckpt_floor = 0.0
+
+    def fresh_checkpoint() -> bool:
+        done = _complete_checkpoints(comp)
+        return bool(done) and done[-1].finished_at >= ckpt_floor
+
+    for n in range(crashes_target):
+        engine.run_until(fresh_checkpoint)
+        gap = float(rng.exponential(mtbf_s))
+        target = _WORKER_HOSTS[int(rng.integers(len(_WORKER_HOSTS)))]
+        t_crash = engine.now + gap
+        inj.arm(
+            FaultPlan.schedule([FaultEvent("crash-node", target=target, at=t_crash)])
+        )
+        engine.run(until=t_crash + 0.001)
+        src = find_newest_valid_plan(world, comp.state, expected=2)
+        lost_work.append(round(t_crash - src.finished_at, 6))
+        engine.run_until(lambda n=n: sup.stats["recoveries"] >= n + 1)
+        ckpt_floor = engine.now
+    engine.run(until=engine.now + interval_s)  # settle: one clean interval
+    sup.stop()
+    return _report(
+        "mtbf", seed, world, comp, sup, inj,
+        extra={
+            "interval_s": interval_s,
+            "mtbf_s": mtbf_s,
+            "crashes": crashes_target,
+            "lost_work_s": lost_work,
+            "max_lost_work_s": max(lost_work),
+            "bound_s": round(interval_s + world.spec.dmtcp.barrier_timeout_s, 6),
+        },
+    )
+
+
+SCENARIOS: dict[str, Callable[[int, bool], dict]] = {
+    "crash": _scenario_crash,
+    "partition": _scenario_partition,
+    "enospc": _scenario_enospc,
+    "coordinator": _scenario_coordinator,
+    "mtbf": _scenario_mtbf,
+}
+
+
+def run_chaos(name: str, seed: int = 7, quick: bool = False) -> dict:
+    """Run a named chaos scenario; returns its deterministic report."""
+    try:
+        fn = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {', '.join(sorted(SCENARIOS))}"
+        ) from None
+    return fn(seed, quick)

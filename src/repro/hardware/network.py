@@ -53,6 +53,53 @@ class Network:
         self._nodes: dict[str, "Node"] = {}
         #: Total payload bytes moved across the fabric; test hook.
         self.bytes_transferred = 0.0
+        #: Fault state: severed host pairs (frozensets) and fully isolated
+        #: hosts.  Both empty in healthy runs -- ``transfer`` pays one
+        #: truthiness test and nothing else.
+        self._blocked: set[frozenset] = set()
+        self._isolated: set[str] = set()
+        #: Transfers caught mid-partition, re-dispatched on heal (the
+        #: TCP-retransmit analogue: bytes are delayed, never lost).
+        self._held: list[tuple] = []
+
+    # ------------------------------------------------------------------
+    # Fault injection (partitions and NIC isolation)
+    # ------------------------------------------------------------------
+    def partition(self, a: str, b: str) -> None:
+        """Sever the ``a`` <-> ``b`` path (both directions)."""
+        self._blocked.add(frozenset((a, b)))
+
+    def isolate(self, hostname: str) -> None:
+        """Unplug a host's NIC: all non-loopback traffic stalls."""
+        self._isolated.add(hostname)
+
+    def heal(self, a: Optional[str] = None, b: Optional[str] = None) -> None:
+        """Undo partitions: one pair, one host, or (no args) everything.
+
+        Held transfers whose path is clear again are re-dispatched at the
+        current virtual time.
+        """
+        if a is None:
+            self._blocked.clear()
+            self._isolated.clear()
+        elif b is None:
+            self._isolated.discard(a)
+            self._blocked = {pair for pair in self._blocked if a not in pair}
+        else:
+            self._blocked.discard(frozenset((a, b)))
+        held, self._held = self._held, []
+        for src, dst, nbytes, notify in held:
+            self._start_transfer(src, dst, nbytes, notify)
+
+    def path_blocked(self, src_host: str, dst_host: str) -> bool:
+        """Is traffic between the two hosts currently severed?"""
+        if src_host == dst_host:
+            return False
+        return (
+            src_host in self._isolated
+            or dst_host in self._isolated
+            or frozenset((src_host, dst_host)) in self._blocked
+        )
 
     def attach(self, node: "Node") -> None:
         """Plug a node into the switch."""
@@ -96,6 +143,16 @@ class Network:
         else:
             done = None
             notify = on_done
+        if (self._blocked or self._isolated) and self.path_blocked(
+            src.hostname, dst.hostname
+        ):
+            # partitioned: park the transfer; heal() re-dispatches it
+            self._held.append((src, dst, nbytes, notify))
+            return done
+        self._start_transfer(src, dst, nbytes, notify)
+        return done
+
+    def _start_transfer(self, src: "Node", dst: "Node", nbytes: float, notify) -> None:
         self.bytes_transferred += nbytes
         if src is dst:
             # loopback: memory-speed copy, no NIC, no wire latency
@@ -105,7 +162,7 @@ class Network:
                 )
             else:
                 src.loopback.submit(nbytes, on_done=notify)
-            return done
+            return
         if nbytes <= self.spec.small_transfer_bytes:
             # control-frame fast path: fixed latency + serialization time,
             # no shared-queue occupancy (see NetworkSpec.small_transfer_bytes)
@@ -115,9 +172,8 @@ class Network:
                 + nbytes / self.spec.bandwidth_bps
             )
             self.engine.call_after(delay, notify)
-            return done
+            return
         fixed = self.spec.latency_s + self.spec.per_message_s
         join = _TransferJoin(self.engine, fixed, notify)
         src.nic_tx.submit(nbytes, on_done=join)
         dst.nic_rx.submit(nbytes, on_done=join)
-        return done

@@ -60,6 +60,15 @@ class Namespace:
             raise SyscallError("ENOENT", path)
         del self.files[path]
 
+    def rename(self, old: str, new: str) -> SimFile:
+        """Atomically move an inode, replacing any existing ``new``."""
+        file = self.files.pop(old, None)
+        if file is None:
+            raise SyscallError("ENOENT", old)
+        file.path = new
+        self.files[new] = file
+        return file
+
     def listdir(self, prefix: str) -> list[str]:
         """All paths under ``prefix/``, sorted."""
         if not prefix.endswith("/"):

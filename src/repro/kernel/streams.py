@@ -178,6 +178,33 @@ class ByteBuffer:
         """
         self._data_waiters.append(cb)
 
+    def remove_data_waiter(self, cb) -> bool:
+        """Unpark ``cb`` without firing it (recv timeout gave up waiting).
+
+        Removes by identity; returns whether it was still parked.
+        """
+        waiters = self._data_waiters
+        for i, parked in enumerate(waiters):
+            if parked is cb:
+                del waiters[i]
+                return True
+        return False
+
+    def requeue_front(self, chunks) -> None:
+        """Put drained chunks back at the *head* of the buffer, in order.
+
+        The checkpoint-abort rollback path: chunks pulled out by the
+        drain stage are returned exactly where they sat, ahead of any
+        data that arrived since, so stream order is conserved.  Bypasses
+        reservation like :meth:`push` (the bytes were already accounted
+        when first committed).
+        """
+        if not chunks:
+            return
+        self._chunks.extendleft(reversed(chunks))
+        self._committed += sum(c.nbytes for c in chunks)
+        self._wake_readers()
+
     def set_eof(self) -> None:
         """Writer closed: readers see EOF once in-flight data lands."""
         if self._reserved > 0:

@@ -230,6 +230,10 @@ class Sys:
         """Remove a file."""
         return (yield Call("unlink", (path,)))
 
+    def rename(self, old: str, new: str):
+        """Atomically move ``old`` to ``new`` within one namespace."""
+        return (yield Call("rename", (old, new)))
+
     def stat(self, path: str):
         """Return ``{size, perms, path}`` or None if missing."""
         return (yield Call("stat", (path,)))
@@ -272,9 +276,16 @@ class Sys:
         (DMTCP's refill stage only -- see kernel.sockets.transmit)."""
         return (yield Call("send_chunk", (fd, chunk, force)))
 
-    def recv(self, fd: int):
-        """Receive the next chunk (or None at EOF)."""
-        return (yield Call("recv", (fd,)))
+    def recv(self, fd: int, timeout: Optional[float] = None):
+        """Receive the next chunk (or None at EOF).
+
+        With ``timeout`` the call fails with ETIMEDOUT if nothing arrives
+        within that many virtual seconds (SO_RCVTIMEO analogue; the
+        supervision layer's barrier waits use this).
+        """
+        if timeout is None:
+            return (yield Call("recv", (fd,)))
+        return (yield Call("recv", (fd,), {"timeout": timeout}))
 
     def setsockopt(self, fd: int, option: str, value: int):
         """Set a socket option (SO_RCVBUF/SO_SNDBUF resize the buffer)."""
@@ -379,18 +390,19 @@ def send_frame(sys: Sys, fd: int, payload: Any, sim_size: int):
         yield from sys.send_chunk(fd, chunk)
 
 
-def recv_frame(sys: Sys, fd: int, assembler: FrameAssembler):
+def recv_frame(sys: Sys, fd: int, assembler: FrameAssembler, timeout: Optional[float] = None):
     """Receive one complete framed message: returns (payload, sim_size).
 
     ``assembler`` must persist across calls on the same stream (keep it
     next to the fd) so a message split by a checkpoint still reassembles.
-    Returns None at EOF.
+    Returns None at EOF.  ``timeout`` bounds each underlying recv (the
+    call raises ETIMEDOUT if the stream stalls that long).
     """
     while True:
         ready = assembler.pop()
         if ready is not None:
             return ready
-        chunk = yield from sys.recv(fd)
+        chunk = yield from sys.recv(fd, timeout=timeout)
         if chunk is None:
             return None
         assembler.feed(chunk)

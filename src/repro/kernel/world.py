@@ -207,6 +207,35 @@ class _RecvAttempt:
             ep.rx.add_data_waiter(self)
 
 
+class _RecvTimeout:
+    """Expires a blocking recv with ETIMEDOUT (SO_RCVTIMEO analogue).
+
+    Fires only if the task is still parked on the *same* recv call in the
+    same epoch; otherwise the recv completed (or the process moved on)
+    and the timer is stale.
+    """
+
+    __slots__ = ("attempt", "call", "timeout")
+
+    def __init__(self, attempt: _RecvAttempt, call, timeout: float):
+        self.attempt = attempt
+        self.call = call
+        self.timeout = timeout
+
+    def __call__(self) -> None:
+        attempt = self.attempt
+        task = attempt.task
+        if (
+            task.state in _FINISHED_STATES
+            or task.epoch != attempt.epoch
+            or task.state is TaskState.FROZEN
+            or task.pending_call is not self.call
+        ):
+            return
+        attempt.ep.rx.remove_data_waiter(attempt)
+        task.fail_call(SyscallError("ETIMEDOUT", f"recv idle for {self.timeout}s"))
+
+
 class _NodeState:
     """Per-node kernel tables."""
 
@@ -218,6 +247,10 @@ class _NodeState:
         self.root_ns = Namespace(f"{node.hostname}:root")
         self.mounts = MountTable(node, self.root_ns)
         self.next_port = 30000
+        #: Fault state: a crashed node refuses spawns until rebooted.
+        self.down = False
+        #: Fault state: local writes fail with ENOSPC until this time.
+        self.disk_full_until = -1.0
 
     def alloc_pid(self) -> int:
         """Allocate a free pid, wrapping like a real pid counter."""
@@ -313,6 +346,8 @@ class World:
         """Create a process running ``program`` (init/sshd entry point)."""
         spec, main = self.lookup_program(program)
         ns = self.node_state(hostname)
+        if ns.down:
+            raise SyscallError("EHOSTDOWN", hostname)
         pid = ns.alloc_pid()
         process = Process(self, ns.node, pid, program, argv or [program], env or {}, parent)
         ns.processes[pid] = process
@@ -433,6 +468,82 @@ class World:
         else:
             self.terminate_process(process, code=-SIGKILL)
             self.reap_process(process)
+
+    # ------------------------------------------------------------------
+    # Crash semantics (fault injection)
+    # ------------------------------------------------------------------
+    def crash_process(self, process: Process) -> None:
+        """Silent vanish: the process dies without closing anything.
+
+        Unlike :meth:`terminate_process`, no FIN reaches the peers: their
+        ``recv`` keeps hanging and their sends raise ECONNRESET -- the
+        exact failure mode a kernel panic or power loss produces, and the
+        deadlock the supervision layer exists to break.  No SIGCHLD is
+        delivered (the parent may itself be gone).
+        """
+        if process.state == "dead":
+            return
+        process.state = "zombie"
+        process.exit_code = -SIGKILL
+        for thread in process.live_threads:
+            task = thread.task
+            if task is None or task.done:
+                continue
+            # continuations survive the crash, exactly as in checkpoint
+            # teardown: a checkpoint image taken earlier references these
+            # same task objects, and the restart path must still be able
+            # to thaw them inside rebuilt processes (DESIGN.md's
+            # continuation substitution for memory contents)
+            if task.state is not TaskState.FROZEN:
+                task.freeze()
+            task.seal()
+        for fd in list(process.fds):
+            entry = process.fds.pop(fd)
+            desc = entry.description
+            if desc.refcount > 1:
+                desc.refcount -= 1  # a surviving sharer keeps it open
+            else:
+                desc.refcount = 0
+                self._vanish_description(desc)
+        for child in process.children:
+            child.parent = None
+        if not process.exited.done:
+            process.exited.resolve(-SIGKILL)
+        self.reap_process(process)
+
+    def _vanish_description(self, desc) -> None:
+        """Tear a description down without graceful-close side effects."""
+        if isinstance(desc, SocketEndpoint):
+            desc.closed = True
+            desc.connected = False
+            desc.rx.cancel_waiters()
+        elif isinstance(desc, ListenerSocket):
+            desc.closed = True
+            if desc.addr is not None:
+                self.release_port(desc.node, desc.addr[1])
+            if desc.path is not None:
+                self.release_unix_path(desc.node, desc.path)
+            for ep in desc.backlog:
+                ep.closed = True
+            desc.backlog.clear()
+
+    def crash_node(self, hostname: str) -> None:
+        """Power the node off: every process vanishes, spawns fail with
+        EHOSTDOWN until :meth:`reboot_node`.  The local filesystem is
+        non-volatile and survives (checkpoint images stay readable after
+        a reboot or from a relocated restart)."""
+        ns = self.node_state(hostname)
+        ns.down = True
+        for process in list(ns.processes.values()):
+            self.crash_process(process)
+
+    def reboot_node(self, hostname: str) -> None:
+        """Bring a crashed node back with a fresh (empty) process table."""
+        self.node_state(hostname).down = False
+
+    def set_disk_full(self, hostname: str, until: float) -> None:
+        """Local writes on ``hostname`` fail with ENOSPC until ``until``."""
+        self.node_state(hostname).disk_full_until = until
 
     def find_process(self, hostname: str, pid: int) -> Optional[Process]:
         """Look up a (possibly dead) process by node and pid."""
@@ -835,6 +946,10 @@ class World:
             raise SyscallError("EINVAL", f"fd {fd} is not a file; use send")
         if not desc.writable:
             raise SyscallError("EBADF", f"fd {fd} not writable")
+        if desc.mount.storage == "local":
+            ns = self.nodes[process.node.hostname]
+            if ns.disk_full_until > self.engine.now:
+                raise SyscallError("ENOSPC", desc.file.path)
         fut = desc.table.charge_write(desc.mount, nbytes)
         fut.add_done(_FileWriteFinish(self, task, desc, nbytes, payload, fut))
 
@@ -876,6 +991,14 @@ class World:
         mount = ns.mounts.resolve(path)
         mount.namespace.unlink(path)
         task.complete_call(None)
+
+    def _sys_rename(self, task, thread, process, old, new) -> None:
+        ns = self.node_state(process.node.hostname)
+        mount = ns.mounts.resolve(old)
+        if ns.mounts.resolve(new) is not mount:
+            raise SyscallError("EXDEV", f"{old} -> {new}")
+        mount.namespace.rename(old, new)
+        self._complete_after(task, self.spec.disk.op_latency_s, None)
 
     def _sys_stat(self, task, thread, process, path) -> None:
         ns = self.node_state(process.node.hostname)
@@ -1023,10 +1146,15 @@ class World:
         else:
             self._settle(task, accepted, value=chunk.nbytes)
 
-    def _sys_recv(self, task, thread, process, fd) -> None:
+    def _sys_recv(self, task, thread, process, fd, timeout=None) -> None:
         ep = self._socket_desc(process, fd)
         check_pipe_direction(ep, "recv")
-        _RecvAttempt(task, ep)()
+        attempt = _RecvAttempt(task, ep)
+        attempt()
+        if timeout is not None and task.pending_call is not None:
+            self.engine.call_after(
+                timeout, _RecvTimeout(attempt, task.pending_call, timeout)
+            )
 
     def _sys_setsockopt(self, task, thread, process, fd, option, value) -> None:
         desc = process.get_fd(fd)
@@ -1123,7 +1251,11 @@ class World:
         def spawn_remote() -> None:
             if task.done or task.epoch != epoch:
                 return
-            child = self.spawn_process(host, program, argv, env or {}, parent=None)
+            try:
+                child = self.spawn_process(host, program, argv, env or {}, parent=None)
+            except SyscallError as err:  # e.g. EHOSTDOWN mid-connect
+                task.fail_call(err)
+                return
             task.complete_call((host, child.pid))
 
         self.engine.call_after(self.spec.os.ssh_connect_s, spawn_remote)

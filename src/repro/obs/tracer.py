@@ -75,7 +75,10 @@ class Tracer:
     time; the world wires it to ``engine.now``.
     """
 
-    __slots__ = ("clock", "enabled", "events", "counters", "_stacks", "_watchers")
+    __slots__ = (
+        "clock", "enabled", "events", "counters", "_stacks", "_watchers",
+        "_span_hooks",
+    )
 
     def __init__(self, clock: Optional[Callable[[], float]] = None, enabled: bool = False):
         self.clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
@@ -90,6 +93,12 @@ class Tracer:
         #: trampoline) register here so they can rebind their cached
         #: "tracer-or-None" slot instead of re-testing ``enabled`` per event.
         self._watchers: list[Callable[["Tracer"], None]] = []
+        #: Span-edge hooks ``fn(ph, track, name, ts)`` fired on every
+        #: begin/end *whether or not recording is enabled* -- spans always
+        #: measure, so hooks always see edges.  The fault injector uses
+        #: these to target "during barrier X" without the tracer on.  The
+        #: empty-list truthiness test keeps the no-hooks path free.
+        self._span_hooks: list[Callable[[str, str, str, float], None]] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -121,6 +130,22 @@ class Tracer:
         self._stacks.clear()
 
     # ------------------------------------------------------------------
+    # Span hooks (fault injection, phase-targeted instrumentation)
+    # ------------------------------------------------------------------
+    def add_span_hook(self, fn: Callable[[str, str, str, float], None]) -> None:
+        """Fire ``fn(ph, track, name, ts)`` on every span begin ("B") and
+        end ("E"), independent of ``enabled``."""
+        if fn not in self._span_hooks:
+            self._span_hooks.append(fn)
+
+    def remove_span_hook(self, fn: Callable[[str, str, str, float], None]) -> None:
+        """Detach a previously added span hook (no-op if absent)."""
+        try:
+            self._span_hooks.remove(fn)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
     # Spans
     # ------------------------------------------------------------------
     def begin(self, track: str, name: str, cat: Optional[str] = None, **args: Any) -> float:
@@ -132,6 +157,9 @@ class Tracer:
         stack.append((name, now))
         if self.enabled:
             self.events.append(TraceEvent(PH_BEGIN, now, track, name, cat, args or None))
+        if self._span_hooks:
+            for fn in list(self._span_hooks):
+                fn(PH_BEGIN, track, name, now)
         return now
 
     def end(self, track: str, name: Optional[str] = None, cat: Optional[str] = None, **args: Any) -> float:
@@ -151,6 +179,9 @@ class Tracer:
             )
         if self.enabled:
             self.events.append(TraceEvent(PH_END, now, track, open_name, cat, args or None))
+        if self._span_hooks:
+            for fn in list(self._span_hooks):
+                fn(PH_END, track, open_name, now)
         return now - begin_ts
 
     def instant(self, track: str, name: str, cat: Optional[str] = None, **args: Any) -> float:

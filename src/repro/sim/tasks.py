@@ -24,6 +24,7 @@ signals.  Handlers must therefore make call effects atomic-at-completion.
 from __future__ import annotations
 
 import enum
+from collections import deque
 from typing import Any, Callable, Generator, Optional
 
 from repro.errors import TaskCancelled, TaskError
@@ -342,6 +343,73 @@ class Task:
         return f"<Task {self.name} {self.state.value}>"
 
 
+class FailureLog:
+    """Bounded, queryable record of tasks that died with an error.
+
+    Drop-in for the grow-only list it replaces (append / len / iter /
+    truthiness / indexing / clear), but capped: under sustained fault
+    injection the log keeps only the newest ``maxlen`` records while
+    ``total``/``dropped`` keep exact counts.  Entries are
+    ``(task, exception)`` pairs.
+    """
+
+    def __init__(self, maxlen: int = 256):
+        self._entries: deque = deque(maxlen=maxlen)
+        #: Every failure ever recorded (monotonic, never trimmed).
+        self.total = 0
+        #: Records evicted by the bound.
+        self.dropped = 0
+
+    def append(self, entry) -> None:
+        """Record one ``(task, exc)`` pair, evicting the oldest if full."""
+        if len(self._entries) == self._entries.maxlen:
+            self.dropped += 1
+        self._entries.append(entry)
+        self.total += 1
+
+    def clear(self) -> None:
+        """Drop all retained records (counters are kept)."""
+        self._entries.clear()
+
+    def by_program(self, program: str) -> list:
+        """Retained failures whose task belonged to process ``program``."""
+        return [e for e in self._entries if self._program_of(e[0]) == program]
+
+    def by_host(self, hostname: str) -> list:
+        """Retained failures that occurred on node ``hostname``."""
+        return [e for e in self._entries if self._host_of(e[0]) == hostname]
+
+    @staticmethod
+    def _program_of(task) -> Optional[str]:
+        thread = task.context
+        process = getattr(thread, "process", None)
+        return getattr(process, "program", None)
+
+    @staticmethod
+    def _host_of(task) -> Optional[str]:
+        thread = task.context
+        process = getattr(thread, "process", None)
+        node = getattr(process, "node", None)
+        return getattr(node, "hostname", None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._entries)[index]
+        return self._entries[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FailureLog {len(self._entries)}/{self.total} (dropped {self.dropped})>"
+
+
 class Scheduler:
     """Drives task generators over an :class:`Engine`."""
 
@@ -349,9 +417,9 @@ class Scheduler:
         self.engine = engine
         #: Live (unfinished) tasks, for leak detection in tests.
         self.tasks: set[Task] = set()
-        #: (task, exception) pairs for tasks that died with an error and
-        #: were never joined.  Tests assert this stays empty.
-        self.failures: list[tuple[Task, BaseException]] = []
+        #: Tasks that died with an error and were never joined.  Tests
+        #: assert this stays empty; chaos runs query and bound it.
+        self.failures = FailureLog()
 
     def spawn(self, gen: TaskGen, name: str = "", handler: Optional[Handler] = None) -> Task:
         """Create a task and schedule its first step at the current time."""
@@ -453,6 +521,9 @@ class Scheduler:
         self.tasks.discard(task)
         if exc is not None and state is not TaskState.CANCELLED:
             self.failures.append((task, exc))
+            tracer = self.engine._trace_hot
+            if tracer is not None:
+                tracer.count("sched.task_failures")
         if task.done_future.done:
             # already dropped (e.g. the thread's own exit() tore the
             # process down while the generator was returning)

@@ -1,0 +1,155 @@
+"""A peer dies at every checkpoint barrier; the cluster must recover.
+
+The acceptance property from the fault-injection issue: whatever barrier
+an in-flight checkpoint is at when a member silently dies, the survivors
+must return to RUNNING within the configured timeout -- either because
+the coordinator aborted the checkpoint (watchdog / barrier timeout) or
+because it shrank the quorum and completed without the dead member.
+Either way there must be no leaked drain tokens in surviving sockets and
+no half-written ``*.tmp`` images left behind.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.config import CLUSTER_2008
+from repro.core.launch import DmtcpComputation
+from repro.core.protocol import CHECKPOINT_BARRIERS
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.faults.scenarios import _chaos_apps
+from repro.kernel.streams import CTRL_DRAIN_TOKEN
+from repro.kernel.world import HIJACK_ENV
+
+#: Shrunk supervision timeouts so every abort resolves in a few
+#: simulated seconds instead of the production-scale defaults.
+FAST_SPEC = CLUSTER_2008.with_(
+    dmtcp=replace(
+        CLUSTER_2008.dmtcp,
+        barrier_timeout_s=1.0,
+        heartbeat_interval_s=0.5,
+        member_recv_timeout_s=2.0,
+    )
+)
+
+#: One kill point per wire barrier of Section 4.3's algorithm ("resume"
+#: is release-only -- members never arrive at it, so it cannot open; the
+#: sixth kill point, before any barrier opens, is its own test below).
+KILL_POINTS = [
+    f"coordinator/barrier:{name}"
+    for name in CHECKPOINT_BARRIERS
+    if name != "resume"
+]
+
+
+def _build(seed: int):
+    world = build_cluster(n_nodes=3, seed=seed, spec=FAST_SPEC)
+    world.tracer.enable()
+    _chaos_apps(world)
+    comp = DmtcpComputation(world, supervise=True)
+    comp.launch("node01", "chaos_server")
+    comp.launch("node02", "chaos_client")
+    world.engine.run(until=1.0)
+    return world, comp
+
+
+def _survivors(world):
+    return [p for p in world.live_processes() if p.env.get(HIJACK_ENV)]
+
+
+def _leaked_drain_tokens(world) -> list:
+    """Drain-token chunks still sitting in live processes' rx buffers."""
+    leaked = []
+    for p in _survivors(world):
+        for fd, entry in p.fds.items():
+            rx = getattr(entry.description, "rx", None)
+            if rx is None:
+                continue
+            for chunk in rx._chunks:
+                if chunk.ctrl == CTRL_DRAIN_TOKEN:
+                    leaked.append((p.pid, fd, chunk))
+    return leaked
+
+
+def _tmp_images(world) -> list:
+    """Half-written ``*.tmp`` image files anywhere in the ckpt dirs."""
+    tmp = []
+    for host in world.machine.hostnames:
+        node = world.node_state(host)
+        if node.down:
+            continue
+        try:
+            mount = node.mounts.resolve("/tmp/dmtcp")
+        except Exception:
+            continue
+        tmp.extend(
+            p for p in mount.namespace.listdir("/tmp/dmtcp") if p.endswith(".tmp")
+        )
+    return tmp
+
+
+@pytest.mark.parametrize("phase", KILL_POINTS)
+def test_peer_dies_at_barrier_cluster_returns_to_running(phase):
+    world, comp = _build(seed=23)
+    inj = FaultInjector(world, comp)
+    inj.arm(
+        FaultPlan.schedule(
+            [FaultEvent("crash-node", target="node02", phase=phase)]
+        )
+    )
+    handle = comp.request_checkpoint()
+    world.engine.run(until=world.engine.now + 15.0)
+
+    # the fault actually fired at the requested barrier
+    assert len(inj.log) == 1, f"fault never triggered at {phase}"
+    assert inj.log[0]["kind"] == "crash-node"
+
+    # the coordinator rolled the cluster back to RUNNING: no barrier is
+    # stuck open and the phase machine is idle again
+    assert comp.state.phase == "idle"
+    assert not comp.state.barrier_open
+
+    # the checkpoint request resolved one way or the other -- aborted, or
+    # completed over the shrunk quorum -- never a silent forever-pending
+    assert handle["outcome"] is not None
+
+    # the survivor kept (or resumed) running: out of checkpoint mode,
+    # with its threads live
+    survivors = _survivors(world)
+    assert len(survivors) == 1
+    survivor = survivors[0]
+    assert survivor.node.hostname == "node01"
+    runtime = survivor.user_state["dmtcp"]
+    assert not runtime.in_checkpoint
+    assert survivor.state == "running"
+
+    # and it makes actual forward progress after the abort
+    before = world.tracer.snapshot().get("sys.total", 0)
+    world.engine.run(until=world.engine.now + 3.0)
+    assert world.tracer.snapshot().get("sys.total", 0) > before
+
+    # rollback hygiene: no drain tokens leaked into app-visible buffers,
+    # no torn images left on any live node
+    assert _leaked_drain_tokens(world) == []
+    assert _tmp_images(world) == []
+
+    # the silent crash is a fault, not a bug: nothing died unhandled
+    assert not world.scheduler.failures
+
+
+def test_peer_dies_before_suspend_checkpoint_still_resolves():
+    """Kill before any barrier opens: the request was broadcast to a
+    member that is already gone; the coordinator must notice and either
+    finish without it or abort -- not hang."""
+    world, comp = _build(seed=24)
+    world.crash_node("node02")
+    world.engine.run(until=world.engine.now + 0.1)
+    handle = comp.request_checkpoint()
+    world.engine.run(until=world.engine.now + 15.0)
+
+    assert comp.state.phase == "idle"
+    assert handle["outcome"] is not None
+    assert _leaked_drain_tokens(world) == []
+    assert _tmp_images(world) == []
+    assert not world.scheduler.failures

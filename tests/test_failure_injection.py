@@ -29,9 +29,10 @@ def test_concurrent_checkpoint_requests_second_gets_busy(world):
     h2 = comp.request_checkpoint()  # lands while the first is running
     world.engine.run_until(lambda: h1["outcome"] is not None)
     world.engine.run(until=world.engine.now + 2.0)
-    # exactly one checkpoint happened; the second client was refused
+    # exactly one checkpoint happened; the second client was refused and
+    # the refusal is visible on the handle (not a silent forever-None)
     assert len(comp.state.history) == 1
-    assert h2["outcome"] is None
+    assert h2["outcome"] == "busy"
 
 
 def test_restart_without_checkpoint_raises(world):
