@@ -12,7 +12,7 @@ import os
 
 import pytest
 
-from repro.harness.fig5 import run_fig5_point
+from repro.harness.fig5 import run_fig5_point, run_fig5_tree_point
 from repro.harness.report import table
 
 from benchmarks._util import full_scale, run_timed, save_and_print, save_json
@@ -21,6 +21,14 @@ POINTS_FULL = [16, 32, 48, 64, 80, 96, 112, 128]
 POINTS_LIGHT = [16, 48, 96, 128]
 #: Opt-in extrapolation beyond the paper's largest cluster.
 POINTS_XL = [256, 512] if os.environ.get("REPRO_FIG5_XL", "0") == "1" else []
+#: Opt-in hierarchical-coordination points (repro.coord.tree): 4k runs
+#: in the tree-smoke CI job; the 16k/32k points are additionally marked
+#: slow (minutes of host time each).
+POINTS_TREE = (
+    [4096, pytest.param(16384, marks=pytest.mark.slow), pytest.param(32768, marks=pytest.mark.slow)]
+    if os.environ.get("REPRO_FIG5_TREE", "0") == "1"
+    else []
+)
 
 _ROWS: dict[tuple[str, int], object] = {}
 _WALL: dict[str, float] = {}
@@ -37,6 +45,16 @@ def test_fig5_point(benchmark, storage, nprocs):
     _ROWS[(storage, nprocs)] = point
     _WALL[f"{storage}/{nprocs}"] = wall
     assert point.total_processes > point.compute_processes  # + managers
+    assert point.checkpoint_s > 0 and point.restart_s > 0
+
+
+@pytest.mark.parametrize("nprocs", POINTS_TREE)
+def test_fig5_tree_point(benchmark, nprocs):
+    """REPRO_FIG5_TREE=1: 4k/16k/32k processes through the gateway tree."""
+    point, wall = run_timed(benchmark, lambda: run_fig5_tree_point(nprocs))
+    _ROWS[("tree", nprocs)] = point
+    _WALL[f"tree/{nprocs}"] = wall
+    assert point.total_processes == nprocs
     assert point.checkpoint_s > 0 and point.restart_s > 0
 
 

@@ -8,7 +8,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.config import CLUSTER_2008, HardwareSpec
 from repro.hardware.topology import build_machine
@@ -23,9 +23,27 @@ def build_cluster(
     seed: int = 0,
     with_san: bool = False,
     pid_max: int = 30000,
+    hostnames: Optional[Sequence[str]] = None,
 ) -> World:
-    """Build a ready-to-use simulated cluster kernel."""
+    """Build a ready-to-use simulated cluster kernel.
+
+    ``hostnames`` (an explicit machine file, e.g. a sparse membership
+    parsed from a :class:`repro.coord.nodeset.NodeSet`) overrides the
+    default dense ``node{i:02d}`` naming; ``n_nodes`` defaults to its
+    length when given.
+    """
     spec = spec or CLUSTER_2008
+    if hostnames is not None:
+        hostnames = list(hostnames)
+        if n_nodes == 1 and len(hostnames) != 1:
+            n_nodes = len(hostnames)
     engine = Engine()
-    machine = build_machine(engine, spec, n_nodes, RandomStreams(seed), with_san=with_san)
+    machine = build_machine(
+        engine,
+        spec,
+        n_nodes,
+        RandomStreams(seed),
+        with_san=with_san,
+        hostnames=hostnames,
+    )
     return World(machine, seed=seed, pid_max=pid_max)

@@ -167,6 +167,17 @@ class DmtcpSpec:
     supervisor_poll_s: float = 1.0
     restart_backoff_s: float = 0.5
     restart_backoff_max_s: float = 8.0
+    # -- hierarchical coordination (repro.coord.tree; enabled via
+    # DmtcpComputation(tree_fanout=N), inert otherwise) -----------------
+    #: Gateway arrival-coalescing window: a gateway batches the barrier
+    #: arrivals landing within this span into one upstream count, so the
+    #: root handles O(fanout) messages per barrier and end-to-end barrier
+    #: latency is O(depth * flush) instead of O(members).
+    tree_flush_s: float = 5e-4
+    #: Gateway -> child heartbeat interval (supervised tree mode): each
+    #: gateway probes its own children so silent subtree deaths surface
+    #: locally instead of all at the root.
+    tree_heartbeat_s: float = 2.0
 
 
 @dataclass(frozen=True)

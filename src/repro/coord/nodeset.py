@@ -1,0 +1,439 @@
+"""Compact cluster-membership addressing (ClusterShell-style).
+
+A :class:`RangeSet` is an ordered set of non-negative integers stored as
+sorted, disjoint, inclusive ``(start, stop)`` ranges; a :class:`NodeSet`
+maps hostname prefixes to RangeSets.  Either can hold a 32k-node cluster
+in a handful of tuples, render it as one folded string
+(``"node[0000-8191]"``), and answer rank/membership queries with range
+arithmetic -- the representation the propagation tree routes subtrees
+with, instead of per-object bookkeeping.
+
+Zero-padding is preserved: parsing ``node[00-31]`` remembers width 2 and
+folds back to the same string.  All set operations are eager and return
+new objects; nothing here touches the simulation.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, Optional
+
+__all__ = ["RangeSet", "NodeSet"]
+
+_RANGE_RE = re.compile(r"^(\d+)(?:-(\d+))?$")
+#: ``prefix[ranges]suffix-free`` or a plain ``prefix123`` singleton.
+_PATTERN_RE = re.compile(r"^(?P<prefix>.*?)\[(?P<ranges>[\d,\-]+)\]$")
+_SINGLE_RE = re.compile(r"^(?P<prefix>.*?)(?P<index>\d+)$")
+
+
+class RangeSet:
+    """A set of non-negative ints as sorted disjoint inclusive ranges."""
+
+    __slots__ = ("_ranges", "padding")
+
+    def __init__(self, spec: str = "", padding: int = 0):
+        self.padding = padding
+        ranges: list[tuple[int, int]] = []
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            m = _RANGE_RE.match(part)
+            if m is None:
+                raise ValueError(f"bad range {part!r} in {spec!r}")
+            start = int(m.group(1))
+            stop = int(m.group(2)) if m.group(2) is not None else start
+            if stop < start:
+                raise ValueError(f"reversed range {part!r} in {spec!r}")
+            if self.padding == 0 and len(m.group(1)) > 1 and m.group(1)[0] == "0":
+                self.padding = len(m.group(1))
+            ranges.append((start, stop))
+        self._ranges = _fold(ranges)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_ints(cls, ints: Iterable[int], padding: int = 0) -> "RangeSet":
+        """Build from any iterable of ints (duplicates welcome)."""
+        rs = cls(padding=padding)
+        rs._ranges = _fold([(i, i) for i in ints])
+        return rs
+
+    @classmethod
+    def from_ranges(
+        cls, ranges: Iterable[tuple[int, int]], padding: int = 0
+    ) -> "RangeSet":
+        """Build from inclusive ``(start, stop)`` pairs (any order/overlap)."""
+        rs = cls(padding=padding)
+        rs._ranges = _fold(list(ranges))
+        return rs
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+    def union(self, other: "RangeSet") -> "RangeSet":
+        return RangeSet.from_ranges(
+            list(self._ranges) + list(other._ranges),
+            padding=max(self.padding, other.padding),
+        )
+
+    def intersection(self, other: "RangeSet") -> "RangeSet":
+        out: list[tuple[int, int]] = []
+        i = j = 0
+        a, b = self._ranges, other._ranges
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if lo <= hi:
+                out.append((lo, hi))
+            # advance whichever range ends first
+            if a[i][1] < b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return RangeSet.from_ranges(out, padding=max(self.padding, other.padding))
+
+    def difference(self, other: "RangeSet") -> "RangeSet":
+        out: list[tuple[int, int]] = []
+        j = 0
+        b = other._ranges
+        for start, stop in self._ranges:
+            cur = start
+            while j < len(b) and b[j][1] < cur:
+                j += 1
+            k = j
+            while cur <= stop:
+                if k >= len(b) or b[k][0] > stop:
+                    out.append((cur, stop))
+                    break
+                if b[k][0] > cur:
+                    out.append((cur, b[k][0] - 1))
+                cur = b[k][1] + 1
+                k += 1
+        return RangeSet.from_ranges(out, padding=self.padding)
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, value: int) -> bool:
+        for start, stop in self._ranges:
+            if start <= value <= stop:
+                return True
+            if start > value:
+                return False
+        return False
+
+    def __len__(self) -> int:
+        return sum(stop - start + 1 for start, stop in self._ranges)
+
+    def __iter__(self) -> Iterator[int]:
+        for start, stop in self._ranges:
+            yield from range(start, stop + 1)
+
+    def __bool__(self) -> bool:
+        return bool(self._ranges)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, RangeSet) and self._ranges == other._ranges
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._ranges))
+
+    def __getitem__(self, rank):
+        """The ``rank``-th smallest member (or a RangeSet for a slice)."""
+        if isinstance(rank, slice):
+            idx = range(len(self))[rank]
+            if idx.step == 1:  # contiguous slice: pure range arithmetic
+                return self.slice(idx.start, idx.stop)
+            return RangeSet.from_ints((self[i] for i in idx), padding=self.padding)
+        n = len(self)
+        if rank < 0:
+            rank += n
+        if not 0 <= rank < n:
+            raise IndexError(rank)
+        for start, stop in self._ranges:
+            span = stop - start + 1
+            if rank < span:
+                return start + rank
+            rank -= span
+        raise IndexError(rank)  # pragma: no cover - unreachable
+
+    def slice(self, lo: int, hi: int) -> "RangeSet":
+        """Members with rank in ``[lo, hi)`` -- O(#ranges), no iteration."""
+        out: list[tuple[int, int]] = []
+        seen = 0
+        for start, stop in self._ranges:
+            span = stop - start + 1
+            a = max(lo - seen, 0)
+            b = min(hi - seen, span)
+            if a < b:
+                out.append((start + a, start + b - 1))
+            seen += span
+            if seen >= hi:
+                break
+        return RangeSet.from_ranges(out, padding=self.padding)
+
+    def index(self, value: int) -> int:
+        """Rank of ``value`` (inverse of ``self[rank]``)."""
+        rank = 0
+        for start, stop in self._ranges:
+            if value < start:
+                break
+            if value <= stop:
+                return rank + (value - start)
+            rank += stop - start + 1
+        raise ValueError(f"{value} not in {self}")
+
+    @property
+    def ranges(self) -> tuple[tuple[int, int], ...]:
+        """The folded ``(start, stop)`` pairs (read-only view)."""
+        return tuple(self._ranges)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        parts = []
+        for start, stop in self._ranges:
+            a, b = _pad(start, self.padding), _pad(stop, self.padding)
+            parts.append(a if start == stop else f"{a}-{b}")
+        return ",".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RangeSet({str(self)!r})"
+
+
+def _fold(ranges: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Sort and merge overlapping/adjacent inclusive ranges."""
+    out: list[tuple[int, int]] = []
+    for start, stop in sorted(ranges):
+        if start < 0:
+            raise ValueError(f"negative range start {start}")
+        if out and start <= out[-1][1] + 1:
+            out[-1] = (out[-1][0], max(out[-1][1], stop))
+        else:
+            out.append((start, stop))
+    return out
+
+
+def _pad(value: int, padding: int) -> str:
+    return f"{value:0{padding}d}" if padding else str(value)
+
+
+class NodeSet:
+    """A set of hostnames as ``{prefix: RangeSet}`` -- one folded string.
+
+    Parses and renders the bracket syntax: ``"node[00-31],gpu[0-3]"``.
+    Plain names with a numeric tail (``node07``) join the prefix group;
+    fully non-numeric names are kept verbatim as zero-range prefixes.
+    Iteration order is prefix-lexicographic, then numeric.
+    """
+
+    __slots__ = ("_groups", "_plain")
+
+    def __init__(self, spec: str = ""):
+        #: prefix -> RangeSet of indices
+        self._groups: dict[str, RangeSet] = {}
+        #: names with no numeric tail (e.g. "san"), kept as-is
+        self._plain: set[str] = set()
+        for pattern in _split_patterns(spec):
+            m = _PATTERN_RE.match(pattern)
+            if m is not None:
+                self._merge(m.group("prefix"), RangeSet(m.group("ranges")))
+                continue
+            m = _SINGLE_RE.match(pattern)
+            if m is not None:
+                idx = m.group("index")
+                rs = RangeSet(idx)
+                self._merge(m.group("prefix"), rs)
+            else:
+                self._plain.add(pattern)
+
+    def _merge(self, prefix: str, rs: RangeSet) -> None:
+        cur = self._groups.get(prefix)
+        self._groups[prefix] = cur.union(rs) if cur is not None else rs
+        if not self._groups[prefix]:
+            del self._groups[prefix]
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_hostnames(cls, hostnames: Iterable[str]) -> "NodeSet":
+        """Fold an explicit hostname list (the cluster's machine file)."""
+        ns = cls()
+        for name in hostnames:
+            m = _SINGLE_RE.match(name)
+            if m is not None:
+                ns._merge(
+                    m.group("prefix"),
+                    RangeSet(m.group("index")),
+                )
+            else:
+                ns._plain.add(name)
+        return ns
+
+    # ------------------------------------------------------------------
+    # Set algebra (prefix-wise)
+    # ------------------------------------------------------------------
+    def union(self, other: "NodeSet") -> "NodeSet":
+        out = NodeSet()
+        out._plain = self._plain | other._plain
+        for prefix in set(self._groups) | set(other._groups):
+            a = self._groups.get(prefix)
+            b = other._groups.get(prefix)
+            out._groups[prefix] = a.union(b) if a and b else (a or b)
+        return out
+
+    def intersection(self, other: "NodeSet") -> "NodeSet":
+        out = NodeSet()
+        out._plain = self._plain & other._plain
+        for prefix in set(self._groups) & set(other._groups):
+            rs = self._groups[prefix].intersection(other._groups[prefix])
+            if rs:
+                out._groups[prefix] = rs
+        return out
+
+    def difference(self, other: "NodeSet") -> "NodeSet":
+        out = NodeSet()
+        out._plain = self._plain - other._plain
+        for prefix, rs in self._groups.items():
+            rem = rs.difference(other._groups[prefix]) if prefix in other._groups else rs
+            if rem:
+                out._groups[prefix] = rem
+        return out
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, hostname: str) -> bool:
+        if hostname in self._plain:
+            return True
+        m = _SINGLE_RE.match(hostname)
+        if m is None:
+            return False
+        rs = self._groups.get(m.group("prefix"))
+        return rs is not None and int(m.group("index")) in rs
+
+    def __len__(self) -> int:
+        return len(self._plain) + sum(len(rs) for rs in self._groups.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._plain) or bool(self._groups)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, NodeSet)
+            and self._plain == other._plain
+            and self._groups == other._groups
+        )
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._plain), tuple(sorted(self._groups.items(), key=lambda kv: kv[0]))))
+
+    def __iter__(self) -> Iterator[str]:
+        for name in sorted(self._plain):
+            yield name
+        for prefix in sorted(self._groups):
+            rs = self._groups[prefix]
+            for idx in rs:
+                yield f"{prefix}{_pad(idx, rs.padding)}"
+
+    def __getitem__(self, rank):
+        """The ``rank``-th hostname (or a NodeSet for a slice)."""
+        if isinstance(rank, slice):
+            idx = range(len(self))[rank]
+            out = NodeSet()
+            if idx.step == 1:
+                lo, hi = idx.start, idx.stop
+                seen = 0
+                for name in sorted(self._plain):
+                    if lo <= seen < hi:
+                        out._plain.add(name)
+                    seen += 1
+                for prefix in sorted(self._groups):
+                    rs = self._groups[prefix]
+                    part = rs.slice(max(lo - seen, 0), max(hi - seen, 0))
+                    if part:
+                        out._groups[prefix] = part
+                    seen += len(rs)
+                return out
+            return NodeSet.from_hostnames(self[i] for i in idx)
+        n = len(self)
+        if rank < 0:
+            rank += n
+        if not 0 <= rank < n:
+            raise IndexError(rank)
+        plain = sorted(self._plain)
+        if rank < len(plain):
+            return plain[rank]
+        rank -= len(plain)
+        for prefix in sorted(self._groups):
+            rs = self._groups[prefix]
+            if rank < len(rs):
+                return f"{prefix}{_pad(rs[rank], rs.padding)}"
+            rank -= len(rs)
+        raise IndexError(rank)  # pragma: no cover - unreachable
+
+    def index(self, hostname: str) -> int:
+        """Rank of ``hostname`` (inverse of ``self[rank]``)."""
+        plain = sorted(self._plain)
+        if hostname in self._plain:
+            return plain.index(hostname)
+        m = _SINGLE_RE.match(hostname)
+        rank = len(plain)
+        if m is not None:
+            for prefix in sorted(self._groups):
+                rs = self._groups[prefix]
+                if prefix == m.group("prefix"):
+                    return rank + rs.index(int(m.group("index")))
+                rank += len(rs)
+        raise ValueError(f"{hostname!r} not in {self}")
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        parts = sorted(self._plain)
+        for prefix in sorted(self._groups):
+            rs = self._groups[prefix]
+            ranges = str(rs)
+            if len(rs) == 1 and "-" not in ranges:
+                parts.append(f"{prefix}{ranges}")
+            else:
+                parts.append(f"{prefix}[{ranges}]")
+        return ",".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NodeSet({str(self)!r})"
+
+
+def _split_patterns(spec: str) -> list[str]:
+    """Split on commas that are not inside brackets."""
+    parts: list[str] = []
+    depth = 0
+    cur = ""
+    for ch in spec:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+            if depth < 0:
+                raise ValueError(f"unbalanced brackets in {spec!r}")
+        if ch == "," and depth == 0:
+            if cur.strip():
+                parts.append(cur.strip())
+            cur = ""
+        else:
+            cur += ch
+    if depth != 0:
+        raise ValueError(f"unbalanced brackets in {spec!r}")
+    if cur.strip():
+        parts.append(cur.strip())
+    return parts

@@ -124,6 +124,18 @@ class CoordinatorState:
     #: mode): name -> count, and the relay fds to release through
     barrier_counts: dict[str, int] = field(default_factory=dict)
     barrier_relay_fds: dict[str, set] = field(default_factory=dict)
+    #: propagation-tree mode (repro.coord.tree): connections that are
+    #: gateway subtrees, not members.  Members reached through a gateway
+    #: are keyed ("m", host, vpid) in ``members`` with info["via"] set to
+    #: the top-level gateway fd they are reachable through.
+    gateway_fds: set = field(default_factory=set)
+    #: release log, one entry per released barrier (always on; pure
+    #: host-side bookkeeping): {name, n, open_t, release_t}.  The
+    #: equivalence tests pin release ordering on it and the coordination
+    #: benches read barrier latency (release_t - open_t) from it.
+    barrier_stats: list = field(default_factory=list)
+    #: first-arrival clock per open barrier (feeds barrier_stats)
+    barrier_open_t: dict[str, float] = field(default_factory=dict)
     #: members that already delivered their CKPT_DONE this checkpoint
     #: (their subsequent disconnect -- kill mode -- is expected)
     done_fds: set = field(default_factory=set)
@@ -142,6 +154,16 @@ class CoordinatorState:
     def member_count(self) -> int:
         """Number of connected checkpointed processes."""
         return len(self.members)
+
+    @property
+    def direct_member_fds(self) -> list[int]:
+        """Members holding their own connection (star mode); in tree
+        mode members are tuple-keyed and reached via gateways instead."""
+        return sorted(fd for fd in self.members if isinstance(fd, int))
+
+    def clock(self) -> float:
+        """Current virtual time, host-side (never charges sim time)."""
+        return self.tracer.clock() if self.tracer is not None else 0.0
 
     @property
     def last_checkpoint(self) -> Optional[CheckpointOutcome]:
@@ -212,7 +234,9 @@ def _heartbeat(sys: Sys, state: CoordinatorState):
     """
     while True:
         yield from sys.sleep(state.heartbeat_interval_s)
-        for mfd in sorted(state.members):
+        # tree mode: members are reached through gateways, so probing
+        # the gateway connections covers whole subtrees at once
+        for mfd in sorted(state.direct_member_fds + list(state.gateway_fds)):
             try:
                 yield from send_frame(sys, mfd, P.msg(P.MSG_PING), P.CTL_FRAME_BYTES)
             except SyscallError:
@@ -242,12 +266,12 @@ def _abort_checkpoint(sys: Sys, state: CoordinatorState, reason: str):
     state.barrier_arrivals = {}
     state.barrier_counts = {}
     state.barrier_relay_fds = {}
+    state.barrier_open_t = {}
     state.records = []
     state.images_by_host = {}
     state.done_fds = set()
     state.phase = "idle"
-    for mfd in sorted(state.members):
-        yield from _send_safe(sys, state, mfd, P.msg(P.MSG_CKPT_ABORT, reason=reason))
+    yield from _broadcast_members(sys, state, P.msg(P.MSG_CKPT_ABORT, reason=reason))
     for cmd_fd in state.pending_command_fds:
         yield from _send_safe(sys, state, cmd_fd, P.msg("aborted", reason=reason))
     state.pending_command_fds = []
@@ -275,9 +299,12 @@ def _abort_restart(sys: Sys, state: CoordinatorState, reason: str):
     state.barrier_arrivals = {}
     state.barrier_counts = {}
     state.barrier_relay_fds = {}
+    state.barrier_open_t = {}
     state.phase = "idle"
-    for rfd in sorted(set(state.restarter_fds) | set(state.members)):
-        yield from _send_safe(sys, state, rfd, P.msg(P.MSG_CKPT_ABORT, reason=reason))
+    abort = P.msg(P.MSG_CKPT_ABORT, reason=reason)
+    for rfd in sorted(set(state.restarter_fds) - set(state.members)):
+        yield from _send_safe(sys, state, rfd, abort)
+    yield from _broadcast_members(sys, state, abort)
     state.restarter_fds = set()
 
 
@@ -291,13 +318,27 @@ def _handle_connection(sys: Sys, state: CoordinatorState, cfd: int):
         message = result[0]
         kind = message["kind"]
         if kind == P.MSG_HELLO:
-            state.members[cfd] = {
+            # a hello arriving over a gateway connection is a *forwarded*
+            # member registration: key it by identity, not by fd
+            key = (
+                ("m", message["host"], message["vpid"])
+                if cfd in state.gateway_fds
+                else cfd
+            )
+            state.members[key] = {
                 "host": message["host"],
                 "vpid": message["vpid"],
                 "program": message["program"],
                 "restart": message.get("restart", False),
                 "gen": state.restart_gen,
+                "via": cfd if cfd in state.gateway_fds else None,
             }
+        elif kind == P.MSG_GW_HELLO:
+            state.gateway_fds.add(cfd)
+        elif kind == P.MSG_MEMBER_GONE:
+            yield from _member_gone(sys, state, message)
+        elif kind == P.MSG_SUBTREE_GONE:
+            yield from _subtree_gone(sys, state, message)
         elif kind == P.MSG_BARRIER:
             if _stale_arrival(state, message["name"]):
                 yield from _bounce_stale_arrival(sys, state, cfd)
@@ -360,6 +401,12 @@ def _handle_connection(sys: Sys, state: CoordinatorState, cfd: int):
 
 
 def _drop_connection(state: CoordinatorState, cfd: int) -> None:
+    if cfd in state.gateway_fds:
+        state.gateway_fds.discard(cfd)
+        for key in [k for k, i in state.members.items() if i.get("via") == cfd]:
+            state.members.pop(key, None)
+        for fds in state.barrier_relay_fds.values():
+            fds.discard(cfd)
     state.members.pop(cfd, None)
     state.restarter_fds.discard(cfd)
     for arrivals in state.barrier_arrivals.values():
@@ -376,7 +423,21 @@ def _handle_disconnect(sys: Sys, state: CoordinatorState, cfd: int):
     nearly done can resume and exit before its manager thread gets to
     report restart-done (the process exit kills the manager mid-report),
     so a restart-member disconnect shrinks the restart quorum too.
+
+    A *gateway* disconnect is a subtree loss: every member reached
+    through it is gone at once, and -- because their already-aggregated
+    barrier counts cannot be unwound member-by-member -- any in-flight
+    round is aborted rather than reconciled.
     """
+    if cfd in state.gateway_fds:
+        _drop_connection(state, cfd)
+        if state.tracer is not None:
+            state.tracer.count("coord.gateways_lost")
+        if state.phase == "checkpoint":
+            yield from _abort_checkpoint(sys, state, "gateway connection lost")
+        elif state.phase == "restart":
+            yield from _abort_restart(sys, state, "gateway connection lost")
+        return
     was_member = cfd in state.members
     was_restart_member = (
         was_member
@@ -407,6 +468,66 @@ def _handle_disconnect(sys: Sys, state: CoordinatorState, cfd: int):
             yield from _finish_checkpoint(sys, state)
 
 
+def _member_gone(sys: Sys, state: CoordinatorState, message: dict):
+    """A gateway reports one of its members dead (tree mode).
+
+    Mirrors :func:`_handle_disconnect` for a tuple-keyed member.  The
+    gateway tells us which barriers the dead member's arrival was
+    already counted toward (``arrived``); decrementing those counts is
+    the tree-mode equivalent of ``arrivals.discard(cfd)``.
+    """
+    key = ("m", message["host"], message["vpid"])
+    for name in message.get("arrived", ()):
+        if name in state.barrier_counts:
+            state.barrier_counts[name] = max(0, state.barrier_counts[name] - 1)
+    was_member = key in state.members
+    was_restart_member = (
+        was_member
+        and state.members[key].get("restart")
+        and state.members[key].get("gen") == state.restart_gen
+    )
+    state.members.pop(key, None)
+    if message.get("goodbye"):
+        return
+    if (
+        was_restart_member
+        and state.phase == "restart"
+        and key not in state.done_fds
+    ):
+        state.restart_total -= 1
+        for name in list(state.barrier_arrivals):
+            yield from _maybe_release(sys, state, name)
+        yield from _maybe_finish_restart(sys, state)
+        return
+    if (
+        was_member
+        and state.phase == "checkpoint"
+        and state.quorum > 0
+        and key not in state.done_fds  # kill-mode retirement is expected
+    ):
+        state.quorum -= 1
+        for name in list(state.barrier_arrivals):
+            yield from _maybe_release(sys, state, name)
+        if state.quorum == 0 or len(state.records) >= state.quorum:
+            yield from _finish_checkpoint(sys, state)
+
+
+def _subtree_gone(sys: Sys, state: CoordinatorState, message: dict):
+    """A gateway reports a whole child subtree dead (tree mode).
+
+    The dead gateway's aggregated counts cannot be reconciled, so any
+    in-flight round is aborted; the members re-arrive next round.
+    """
+    for host, vpid in message.get("members", ()):
+        state.members.pop(("m", host, vpid), None)
+    if state.tracer is not None:
+        state.tracer.count("coord.subtrees_lost")
+    if state.phase == "checkpoint":
+        yield from _abort_checkpoint(sys, state, "gateway subtree lost")
+    elif state.phase == "restart":
+        yield from _abort_restart(sys, state, "gateway subtree lost")
+
+
 def _stale_arrival(state: CoordinatorState, name: str) -> bool:
     """An arrival at a checkpoint barrier whose checkpoint no longer
     exists -- the watchdog aborted it before this member's message
@@ -431,6 +552,8 @@ def _barrier_arrive(
 ):
     state.barrier_messages += 1
     tracer = state.tracer
+    if name not in state.barrier_open_t:
+        state.barrier_open_t[name] = state.clock()
     if state.supervise and tracer is not None:
         state.last_progress = tracer.clock()
     if tracer is not None:
@@ -460,6 +583,14 @@ def _maybe_release(sys: Sys, state: CoordinatorState, name: str):
         fds = sorted(arrivals) + sorted(state.barrier_relay_fds.pop(name, set()))
         arrivals.clear()
         state.barrier_counts.pop(name, None)
+        state.barrier_stats.append(
+            {
+                "name": name,
+                "n": total,
+                "open_t": state.barrier_open_t.pop(name, 0.0),
+                "release_t": state.clock(),
+            }
+        )
         tracer = state.tracer
         if tracer is not None and name in state.barrier_open:
             first = state.barrier_open.pop(name)
@@ -478,6 +609,16 @@ def _maybe_release(sys: Sys, state: CoordinatorState, name: str):
             yield from _send_safe(sys, state, mfd, P.msg(P.MSG_BARRIER_RELEASE, name=name))
 
 
+def _broadcast_members(sys: Sys, state: CoordinatorState, message: dict):
+    """Send a verb to every member: direct fds get it plainly, and each
+    gateway gets ONE copy to fan down its subtree -- the root's send
+    cost is O(direct + gateways), not O(members)."""
+    for mfd in state.direct_member_fds:
+        yield from _send_safe(sys, state, mfd, message)
+    for gfd in sorted(state.gateway_fds):
+        yield from _send_safe(sys, state, gfd, message)
+
+
 def _start_checkpoint(sys: Sys, state: CoordinatorState, options: dict):
     state.phase = "checkpoint"
     state.ckpt_id += 1
@@ -486,23 +627,26 @@ def _start_checkpoint(sys: Sys, state: CoordinatorState, options: dict):
     state.images_by_host = {}
     state.ckpt_options = dict(options)
     state.barrier_arrivals = {}
+    # a count that straggled in after its round released (coalesced
+    # relay flushes can land late) must not leak into this round
+    state.barrier_counts = {}
+    state.barrier_relay_fds = {}
+    state.barrier_open_t = {}
     state.done_fds = set()
     now = yield from sys.time()
     state.ckpt_started_at = now
     state.last_progress = now
     had_members = bool(state.members)
-    for mfd in sorted(state.members):
-        yield from _send_safe(
-            sys,
-            state,
-            mfd,
-            P.msg(
-                P.MSG_CHECKPOINT,
-                ckpt_id=state.ckpt_id,
-                kill=bool(options.get("kill")),
-                forked=bool(options.get("forked")),
-            ),
-        )
+    yield from _broadcast_members(
+        sys,
+        state,
+        P.msg(
+            P.MSG_CHECKPOINT,
+            ckpt_id=state.ckpt_id,
+            kill=bool(options.get("kill")),
+            forked=bool(options.get("forked")),
+        ),
+    )
     # a member can crash between the request and this broadcast: the
     # quorum is whoever actually received the order
     state.quorum = len(state.members)
@@ -524,19 +668,34 @@ def _maybe_finish_restart(sys: Sys, state: CoordinatorState):
     state.restart_history.append(outcome)
     state.phase = "idle"
     state.restarter_fds = set()
-    for cb in state.on_restart_complete:
+    # snapshot: callbacks deregister themselves as they fire, and a stale
+    # entry from an abandoned earlier attempt must not shadow the live one
+    for cb in list(state.on_restart_complete):
         cb(outcome)
 
 
+def _done_key(state: CoordinatorState, cfd: int, message: dict):
+    """Which member finished?  Direct connections are keyed by fd; a
+    done report forwarded through a gateway is keyed by the identity in
+    its record (the gateway connection serves many members)."""
+    if cfd not in state.gateway_fds:
+        return cfd
+    record = message.get("record")
+    if isinstance(record, dict):
+        return ("m", record["host"], record["vpid"])
+    return ("m", record.hostname, record.vpid)
+
+
 def _ckpt_done(sys: Sys, state: CoordinatorState, cfd: int, message: dict):
+    key = _done_key(state, cfd, message)
     if message.get("restart"):
         state.restart_done += 1
-        state.done_fds.add(cfd)
+        state.done_fds.add(key)
         if message.get("record") is not None:
             state.restart_records.append(message["record"])
         yield from _maybe_finish_restart(sys, state)
         return
-    state.done_fds.add(cfd)
+    state.done_fds.add(key)
     state.records.append(message["record"])
     host = message["host"]
     state.images_by_host.setdefault(host, []).append(message["image_path"])
@@ -573,7 +732,7 @@ def _finish_checkpoint(sys: Sys, state: CoordinatorState):
         # let its dead socket take the coordinator down with it
         yield from _send_safe(sys, state, cmd_fd, P.msg("ok", ckpt_id=state.ckpt_id))
     state.pending_command_fds = []
-    for cb in state.on_checkpoint_complete:
+    for cb in list(state.on_checkpoint_complete):
         cb(outcome)
 
 
@@ -602,8 +761,7 @@ def _command(sys: Sys, state: CoordinatorState, cfd: int, message: dict):
         yield from send_frame(sys, cfd, P.msg("ok"), P.CTL_FRAME_BYTES)
     elif cmd == "kill":
         # `dmtcp command --kill`: terminate the whole computation
-        for mfd in sorted(state.members):
-            yield from _send_safe(sys, state, mfd, P.msg("die"))
+        yield from _broadcast_members(sys, state, P.msg("die"))
         yield from send_frame(sys, cfd, P.msg("ok"), P.CTL_FRAME_BYTES)
     else:
         yield from send_frame(sys, cfd, P.msg("error", detail=f"unknown {cmd}"), P.CTL_FRAME_BYTES)

@@ -55,6 +55,7 @@ class DmtcpComputation:
         interval: float = 0.0,
         relay: bool = False,
         supervise: bool = False,
+        tree_fanout: Optional[int] = None,
     ):
         self.world = world
         self.coordinator_host = coordinator_host or world.machine.hostnames[0]
@@ -63,6 +64,15 @@ class DmtcpComputation:
         self.compression = compression
         self.incremental = incremental
         self.relay = relay
+        if relay and tree_fanout:
+            raise ValueError("relay and tree_fanout are mutually exclusive")
+        #: hierarchical coordination (repro.coord.tree): one gateway per
+        #: node, arranged in a fanout-ary forest under the coordinator
+        self.tree_fanout = tree_fanout
+        #: hostname -> live gateway process (empty in star mode; the
+        #: supervisor re-trees around a dead one via respawn_gateway)
+        self.gateway_processes: dict[str, object] = {}
+        self._gateway_env: dict[str, dict] = {}
         #: supervision layer: coordinator watchdog + heartbeat, member
         #: barrier timeouts with rollback, atomic checksummed images
         self.supervise = supervise
@@ -93,6 +103,72 @@ class DmtcpComputation:
             }
             for hostname in world.machine.hostnames:
                 world.spawn_process(hostname, "dmtcp_relay", env=relay_env)
+        if tree_fanout:
+            self._spawn_gateway_tree(tree_fanout)
+
+    def _spawn_gateway_tree(self, fanout: int) -> None:
+        """Hierarchical coordination: one gateway per node, fanout-ary.
+
+        Gateway ranks follow :class:`repro.coord.nodeset.NodeSet` order
+        over the machine file, so the whole membership is one folded
+        string and any subtree is range arithmetic on ranks.
+        """
+        from repro.coord.nodeset import NodeSet
+        from repro.coord.tree import (
+            GATEWAY_PORT,
+            GATEWAY_SPEC,
+            TreeTopology,
+            make_gateway_program,
+        )
+
+        world = self.world
+        spec = world.spec.dmtcp
+        self.node_set = NodeSet.from_hostnames(world.machine.hostnames)
+        self.topology = TreeTopology(n=len(self.node_set), fanout=fanout)
+        self.gateway_port = GATEWAY_PORT
+        world.register_program(
+            "dmtcp_gateway", make_gateway_program(world.tracer), GATEWAY_SPEC
+        )
+        for rank in self.topology:
+            hostname = self.node_set[rank]
+            parent = self.topology.parent(rank)
+            env = {
+                "DMTCP_GW_PARENT_HOST": (
+                    self.coordinator_host if parent is None else self.node_set[parent]
+                ),
+                "DMTCP_GW_PARENT_PORT": str(
+                    self.port if parent is None else GATEWAY_PORT
+                ),
+                "DMTCP_GW_PORT": str(GATEWAY_PORT),
+                "DMTCP_TREE_FLUSH": str(spec.tree_flush_s),
+                "DMTCP_GW_HEARTBEAT": str(spec.tree_heartbeat_s),
+                "DMTCP_GW_BACKOFF": str(spec.reconnect_backoff_s),
+                "DMTCP_GW_BACKOFF_MAX": str(spec.reconnect_backoff_max_s),
+                "DMTCP_GW_ATTEMPTS": str(spec.reconnect_attempts),
+                "DMTCP_GW_RECV_TIMEOUT": str(spec.member_recv_timeout_s),
+            }
+            if self.supervise:
+                env["DMTCP_SUPERVISE"] = "1"
+            self._gateway_env[hostname] = env
+            self.gateway_processes[hostname] = world.spawn_process(
+                hostname, "dmtcp_gateway", env=env
+            )
+
+    def respawn_gateway(self, hostname: str):
+        """Re-tree around a dead gateway: spawn its replacement in place.
+
+        The replacement listens on the same node-local port, so orphaned
+        children (managers and child gateways, which retry with backoff)
+        reattach and replay their hellos without any topology change.
+        """
+        if hostname not in self._gateway_env:
+            raise ValueError(f"no gateway belongs on {hostname}")
+        self.world.tracer.count("coord.gateway_respawns")
+        proc = self.world.spawn_process(
+            hostname, "dmtcp_gateway", env=self._gateway_env[hostname]
+        )
+        self.gateway_processes[hostname] = proc
+        return proc
 
     # ------------------------------------------------------------------
     # Wiring
@@ -119,6 +195,8 @@ class DmtcpComputation:
             env["DMTCP_INCREMENTAL"] = "1"
         if self.relay:
             env["DMTCP_RELAY_PORT"] = str(self.relay_port)
+        if self.tree_fanout:
+            env["DMTCP_TREE_PORT"] = str(self.gateway_port)
         if self.supervise:
             env["DMTCP_SUPERVISE"] = "1"
             env["DMTCP_ATOMIC_IMAGES"] = "1"
@@ -319,6 +397,8 @@ class DmtcpComputation:
         state.barrier_arrivals = {}
         state.barrier_counts = {}
         state.barrier_relay_fds = {}
+        state.barrier_open_t = {}
+        state.gateway_fds = set()
         state.pending_command_fds = []
         state.done_fds = set()
         state.records = []

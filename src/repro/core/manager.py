@@ -95,6 +95,12 @@ def manager_main(runtime: "DmtcpRuntime", restart_image: Optional[CheckpointImag
     env = process.env
     host = env["DMTCP_COORD_HOST"]
     port = int(env["DMTCP_COORD_PORT"])
+    # propagation-tree mode: the whole coordinator channel goes through
+    # the node-local gateway, which aggregates barriers and forwards
+    # every other verb -- the root never sees per-process connections
+    tree_port = env.get("DMTCP_TREE_PORT")
+    if tree_port:
+        host, port = process.node.hostname, int(tree_port)
     fd = yield from sys.socket()
     yield from connect_retry(sys, fd, host, port)
     # close-on-exec: an exec'ing process drops its membership and the
@@ -190,6 +196,11 @@ def _reconnect_coordinator(sys: Sys, runtime: "DmtcpRuntime"):
     spec = runtime.world.spec.dmtcp
     host = env["DMTCP_COORD_HOST"]
     port = int(env["DMTCP_COORD_PORT"])
+    tree_port = env.get("DMTCP_TREE_PORT")
+    if tree_port:
+        # tree mode: reattach to the local gateway (the supervisor
+        # respawns a replacement on this node if it died)
+        host, port = process.node.hostname, int(tree_port)
     old_fd = runtime.coord_fd
     if old_fd is not None:
         try:

@@ -55,6 +55,14 @@ MSG_RESTART_HELLO = "restart-hello"  # {host, n_processes}
 MSG_ADVERTISE = "advertise"  # {conn_id_key, host, port}
 MSG_ADVERTISE_BCAST = "advertise-bcast"  # coordinator -> restarters
 
+# propagation-tree gateways (repro.coord.tree; Section 6 future work).
+# Gateways aggregate the barrier verb and forward every other verb, so
+# the root sees O(fanout) connections however many processes exist.
+MSG_GW_HELLO = "gw-hello"  # gateway -> parent: this connection is a subtree
+MSG_BARRIER_COUNT = "barrier-count"  # gateway/relay -> parent: {name, n}
+MSG_MEMBER_GONE = "member-gone"  # gateway -> root: {host, vpid, arrived, goodbye}
+MSG_SUBTREE_GONE = "subtree-gone"  # gateway -> root: {members: [[host, vpid]..]}
+
 #: Modeled size of a control frame on the wire, bytes.
 CTL_FRAME_BYTES = 128
 

@@ -133,6 +133,16 @@ class FaultInjector:
             if comp is not None and comp.coordinator_process.alive:
                 world.crash_process(comp.coordinator_process)
                 detail = "coordinator crashed"
+        elif event.kind == "crash-gateway":
+            comp = self.computation
+            gateway = (
+                comp.gateway_processes.get(event.target)
+                if comp is not None
+                else None
+            )
+            if gateway is not None and gateway.alive:
+                world.crash_process(gateway)
+                detail = f"gateway on {event.target} crashed"
         tracer = world.tracer
         if tracer.enabled:
             tracer.instant(

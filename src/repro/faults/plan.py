@@ -22,6 +22,7 @@ FAULT_KINDS = (
     "enospc",  # checkpoint-dir writes fail with ENOSPC for `duration`
     "slow-host",  # CPU-hog processes steal the target's cores for `duration`
     "kill-coordinator",  # crash the coordinator process itself
+    "crash-gateway",  # crash the target host's coordination-tree gateway
 )
 
 

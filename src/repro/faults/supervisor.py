@@ -104,6 +104,7 @@ class AutoRestartSupervisor:
             "recoveries": 0,
             "failed_restarts": 0,
             "coordinator_respawns": 0,
+            "gateway_respawns": 0,
             "nodes_rebooted": 0,
         }
         #: (virtual time, event, detail) timeline for the chaos CLI/bench
@@ -175,6 +176,17 @@ class AutoRestartSupervisor:
             comp.respawn_coordinator()
             self.stats["coordinator_respawns"] += 1
             self._record("respawn-coordinator", host=host)
+
+        # -- 1b. tree gateways (hierarchical coordination) -------------
+        # A dead gateway strands its whole subtree: managers and child
+        # gateways retry its node-local port with backoff, so respawning
+        # it in place re-trees the forest without touching the members.
+        for gw_host, gw_proc in sorted(comp.gateway_processes.items()):
+            if gw_proc.alive or world.node_state(gw_host).down:
+                continue
+            comp.respawn_gateway(gw_host)
+            self.stats["gateway_respawns"] += 1
+            self._record("respawn-gateway", host=gw_host)
 
         # -- 2. a restart already in flight ----------------------------
         if self._handle is not None:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.config import HardwareSpec
 from repro.sim.engine import Engine
@@ -41,20 +41,37 @@ def build_machine(
     rng: Optional[RandomStreams] = None,
     with_san: bool = False,
     hostname_prefix: str = "node",
+    hostnames: Optional[Sequence[str]] = None,
 ) -> Machine:
     """Build an ``n_nodes`` cluster per the calibration ``spec``.
 
     With ``with_san`` the paper's Figure 5b storage layout is attached:
     the first ``spec.san.san_clients`` nodes mount the device over Fibre
     Channel, the rest reach it via NFS.
+
+    ``hostnames`` overrides the dense ``{prefix}{i:02d}`` naming with an
+    explicit machine file -- e.g. a sparse membership like
+    ``["node00", "node02", "node05"]``.  ``node_id`` stays the position
+    in the machine file (a dense rank), never a number parsed out of the
+    hostname; everything identity-bearing keys on the hostname itself.
     """
     rng = rng or RandomStreams(0)
+    if hostnames is not None:
+        hostnames = list(hostnames)
+        if len(hostnames) != n_nodes:
+            raise ValueError(
+                f"hostnames has {len(hostnames)} entries for n_nodes={n_nodes}"
+            )
+        if len(set(hostnames)) != len(hostnames):
+            raise ValueError("duplicate hostnames in machine file")
     network = Network(engine, spec.network)
     machine = Machine(engine=engine, spec=spec, network=network)
     if with_san:
         machine.san = SanDevice(engine, spec.san, spec.network)
     for i in range(n_nodes):
-        hostname = f"{hostname_prefix}{i:02d}"
+        hostname = (
+            hostnames[i] if hostnames is not None else f"{hostname_prefix}{i:02d}"
+        )
         node = Node(engine, hostname, spec, rng.fork(hostname), node_id=i)
         network.attach(node)
         machine.nodes.append(node)

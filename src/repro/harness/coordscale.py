@@ -1,0 +1,107 @@
+"""Coordination-scaling probe: star vs tree barrier latency.
+
+Isolates the coordinator's contribution to checkpoint time: plain
+sleeping members (no MPI wiring, no image I/O of consequence) so that
+the only thing growing with the process count is barrier traffic.  The
+measurement is *simulated* time per barrier -- ``release_t - open_t``
+from the coordinator's ``barrier_stats`` -- which is deterministic for
+a given membership, so benches can gate it exactly.
+
+The star funnels every arrival through the root's serial receive loop:
+latency grows O(n).  The tree coalesces each gateway's subtree into one
+counted message per barrier: the root sees O(top-level gateways) frames
+and the critical path is the tree height, so latency grows O(log n).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster import build_cluster
+from repro.core.launch import DmtcpComputation
+
+
+@dataclass
+class CoordScalePoint:
+    """One (membership size, transport) sample of the scaling sweep."""
+
+    n_procs: int
+    nodes: int
+    mode: str  # "star" | "tree"
+    fanout: int | None
+    #: simulated seconds per released checkpoint barrier, in release order
+    barrier_latency_s: dict[str, float] = field(default_factory=dict)
+    #: barrier frames the root coordinator processed for the round
+    root_messages: int = 0
+    checkpoint_s: float = 0.0
+
+    @property
+    def mean_barrier_latency_s(self) -> float:
+        lats = list(self.barrier_latency_s.values())
+        return sum(lats) / len(lats) if lats else 0.0
+
+    @property
+    def max_barrier_latency_s(self) -> float:
+        return max(self.barrier_latency_s.values(), default=0.0)
+
+
+def _register_member(world) -> None:
+    def main(sys, argv):
+        while True:
+            yield from sys.sleep(1.0)
+
+    world.register_program("coordscale_member", main)
+
+
+def run_coord_scale_point(
+    n_procs: int,
+    mode: str = "star",
+    fanout: int = 32,
+    procs_per_node: int = 16,
+    seed: int = 0,
+) -> CoordScalePoint:
+    """Checkpoint ``n_procs`` sleepers once; report barrier latencies."""
+    n_nodes = max(n_procs // procs_per_node, 1)
+    world = build_cluster(n_nodes=n_nodes, seed=seed)
+    _register_member(world)
+    comp = DmtcpComputation(
+        world,
+        compression=False,
+        tree_fanout=fanout if mode == "tree" else None,
+    )
+    hostnames = world.machine.hostnames
+    for i in range(n_procs):
+        comp.launch(hostnames[i % n_nodes], "coordscale_member")
+    world.engine.run(until=world.engine.now + 0.5)
+    outcome = comp.checkpoint()
+    assert len(outcome.records) == n_procs
+    return CoordScalePoint(
+        n_procs=n_procs,
+        nodes=n_nodes,
+        mode=mode,
+        fanout=fanout if mode == "tree" else None,
+        barrier_latency_s={
+            s["name"]: s["release_t"] - s["open_t"]
+            for s in comp.state.barrier_stats
+        },
+        root_messages=comp.state.barrier_messages,
+        checkpoint_s=outcome.duration,
+    )
+
+
+def run_coord_scale_sweep(
+    sizes: list[int],
+    fanout: int = 32,
+    procs_per_node: int = 16,
+    seed: int = 0,
+) -> dict[str, list[CoordScalePoint]]:
+    """Star and tree sweeps over ``sizes``, for the bench and the CLI."""
+    return {
+        mode: [
+            run_coord_scale_point(
+                n, mode=mode, fanout=fanout, procs_per_node=procs_per_node, seed=seed
+            )
+            for n in sizes
+        ]
+        for mode in ("star", "tree")
+    }

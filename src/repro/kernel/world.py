@@ -425,8 +425,17 @@ class World:
         process.state = "zombie"
         process.exit_code = code
         for thread in process.live_threads:
-            if thread.task is not None and not thread.task.done:
-                thread.task.drop()
+            task = thread.task
+            if task is None or task.done:
+                continue
+            if task.state is TaskState.FROZEN:
+                # a checkpoint image may still reference this frozen
+                # continuation (a restored member exiting after an
+                # aborted restart): seal it for the dead context but
+                # keep it thawable for the next restore attempt
+                task.seal()
+            else:
+                task.drop()
         for fd in list(process.fds):
             entry = process.fds.pop(fd)
             entry.description.decref()

@@ -379,6 +379,22 @@ class FailureLog:
         """Retained failures that occurred on node ``hostname``."""
         return [e for e in self._entries if self._host_of(e[0]) == hostname]
 
+    def by_nodeset(self, nodes) -> list:
+        """Retained failures on any host of ``nodes``.
+
+        ``nodes`` is a :class:`repro.coord.nodeset.NodeSet`, a folded
+        spec string like ``"node[00-03,17]"``, or any hostname
+        container.  Matching is by hostname, never by rank, so sparse
+        memberships (nodes missing from the middle of a range) select
+        exactly the hosts they name.
+        """
+        if isinstance(nodes, str):
+            from repro.coord.nodeset import NodeSet
+
+            nodes = NodeSet(nodes)
+        wanted = set(nodes)
+        return [e for e in self._entries if self._host_of(e[0]) in wanted]
+
     @staticmethod
     def _program_of(task) -> Optional[str]:
         thread = task.context

@@ -1,0 +1,185 @@
+"""NodeSet/RangeSet: compact membership addressing for the coord tree.
+
+Satellite coverage: parse/format round-trips, union/intersection/
+difference, degenerate ranges, overlapping folds, and a fuzz test
+against a naive set-of-ints reference implementation.
+"""
+
+import random
+
+import pytest
+
+from repro.coord import NodeSet, RangeSet
+
+# ----------------------------------------------------------------------
+# RangeSet
+# ----------------------------------------------------------------------
+
+
+def test_rangeset_parse_format_round_trip():
+    for spec in ["0-31", "0-3,7,9-12", "5", "", "100-200,300"]:
+        assert str(RangeSet(spec)) == spec
+
+
+def test_rangeset_padding_round_trip():
+    rs = RangeSet("00-31")
+    assert rs.padding == 2
+    assert str(rs) == "00-31"
+    assert str(RangeSet("007-011")) == "007-011"
+
+
+def test_rangeset_degenerate_ranges():
+    # singleton ranges fold to bare numbers; reversed ranges are errors
+    assert str(RangeSet("5-5")) == "5"
+    assert str(RangeSet("3-3,4-4,5-5")) == "3-5"
+    with pytest.raises(ValueError):
+        RangeSet("9-3")
+    with pytest.raises(ValueError):
+        RangeSet("1-2-3")
+
+
+def test_rangeset_overlapping_folds():
+    # overlapping and adjacent input ranges normalize to disjoint form
+    assert str(RangeSet("0-5,3-9")) == "0-9"
+    assert str(RangeSet("0-4,5-9")) == "0-9"
+    assert str(RangeSet("7,0-3,2-5,7,6")) == "0-7"
+    assert RangeSet.from_ranges([(10, 20), (0, 12), (21, 21)]).ranges == ((0, 21),)
+
+
+def test_rangeset_set_operations():
+    a = RangeSet("0-9")
+    b = RangeSet("5-14")
+    assert str(a | b) == "0-14"
+    assert str(a & b) == "5-9"
+    assert str(a - b) == "0-4"
+    assert str(b - a) == "10-14"
+    assert str(a - a) == ""
+    assert not (a & RangeSet("20-30"))
+
+
+def test_rangeset_membership_len_iter():
+    rs = RangeSet("0-3,10,20-21")
+    assert len(rs) == 7
+    assert list(rs) == [0, 1, 2, 3, 10, 20, 21]
+    assert 10 in rs and 11 not in rs and 4 not in rs
+
+
+def test_rangeset_rank_indexing_and_slicing():
+    rs = RangeSet("0-3,10,20-21")
+    assert [rs[i] for i in range(len(rs))] == list(rs)
+    assert rs[-1] == 21
+    assert rs.index(10) == 4
+    assert str(rs[2:6]) == "2-3,10,20"
+    assert str(rs.slice(0, 4)) == "0-3"
+    with pytest.raises(IndexError):
+        rs[7]
+    with pytest.raises(ValueError):
+        rs.index(4)
+
+
+def test_rangeset_fuzz_against_set_of_ints():
+    """Every operation must agree with a naive set-of-ints model."""
+    rng = random.Random(7)
+    for _ in range(200):
+        xs = {rng.randrange(64) for _ in range(rng.randrange(24))}
+        ys = {rng.randrange(64) for _ in range(rng.randrange(24))}
+        a, b = RangeSet.from_ints(xs), RangeSet.from_ints(ys)
+        assert set(a) == xs and len(a) == len(xs)
+        assert set(a | b) == xs | ys
+        assert set(a & b) == xs & ys
+        assert set(a - b) == xs - ys
+        # round-trip through the string form
+        assert set(RangeSet(str(a))) == xs
+        for rank, v in enumerate(sorted(xs)):
+            assert a[rank] == v and a.index(v) == rank
+        lo = rng.randrange(len(xs) + 1)
+        hi = rng.randrange(lo, len(xs) + 1)
+        assert set(a.slice(lo, hi)) == set(sorted(xs)[lo:hi])
+
+
+# ----------------------------------------------------------------------
+# NodeSet
+# ----------------------------------------------------------------------
+
+
+def test_nodeset_parse_format_round_trip():
+    for spec in [
+        "node[00-31]",
+        "gpu[0-3],node[00-07]",
+        "node[0-3,8-11]",
+        "login,node[00-01]",
+        "node07",
+    ]:
+        assert str(NodeSet(spec)) == spec
+
+
+def test_nodeset_from_hostnames_folds():
+    ns = NodeSet.from_hostnames([f"node{i:02d}" for i in range(32)])
+    assert str(ns) == "node[00-31]"
+    assert len(ns) == 32
+    assert "node07" in ns and "node32" not in ns
+
+
+def test_nodeset_singleton_and_plain_names():
+    ns = NodeSet.from_hostnames(["san", "node05"])
+    assert str(ns) == "san,node05"  # plain names first, matching iteration
+    assert "san" in ns and "node05" in ns and "node06" not in ns
+    assert list(ns) == ["san", "node05"]  # plain names sort first
+
+
+def test_nodeset_set_operations():
+    a = NodeSet("node[00-15]")
+    b = NodeSet("node[08-23],gpu[0-1]")
+    assert str(a | b) == "gpu[0-1],node[00-23]"
+    assert str(a & b) == "node[08-15]"
+    assert str(a - b) == "node[00-07]"
+    assert str(b - a) == "gpu[0-1],node[16-23]"
+
+
+def test_nodeset_rank_indexing_matches_iteration():
+    ns = NodeSet("node[00-03],gpu[0-1],login")
+    names = list(ns)
+    assert names == ["login", "gpu0", "gpu1", "node00", "node01", "node02", "node03"]
+    assert [ns[i] for i in range(len(ns))] == names
+    for i, name in enumerate(names):
+        assert ns.index(name) == i
+    assert str(ns[1:3]) == "gpu[0-1]"
+    with pytest.raises(ValueError):
+        ns.index("node99")
+
+
+def test_nodeset_sparse_membership_round_trip():
+    """Sparse memberships (holes after relocation) stay addressable."""
+    ns = NodeSet.from_hostnames(["node00", "node02", "node05", "node06"])
+    assert str(ns) == "node[00,02,05-06]"
+    assert ns[1] == "node02" and ns.index("node05") == 2
+    assert "node01" not in ns
+
+
+def test_nodeset_fuzz_against_set_of_hostnames():
+    rng = random.Random(13)
+    prefixes = ["node", "gpu", "io"]
+    for _ in range(100):
+        xs = {
+            f"{rng.choice(prefixes)}{rng.randrange(40):02d}"
+            for _ in range(rng.randrange(30))
+        }
+        ys = {
+            f"{rng.choice(prefixes)}{rng.randrange(40):02d}"
+            for _ in range(rng.randrange(30))
+        }
+        a, b = NodeSet.from_hostnames(xs), NodeSet.from_hostnames(ys)
+        assert set(a) == xs and len(a) == len(xs)
+        assert set(a | b) == xs | ys
+        assert set(a & b) == xs & ys
+        assert set(a - b) == xs - ys
+        assert set(NodeSet(str(a))) == xs
+        for name in xs:
+            assert a[a.index(name)] == name
+
+
+def test_nodeset_bad_specs():
+    with pytest.raises(ValueError):
+        NodeSet("node[0-")
+    with pytest.raises(ValueError):
+        NodeSet("node0-3]")
