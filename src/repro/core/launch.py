@@ -14,6 +14,7 @@ operation completes and return structured outcomes with timings.
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.coordinator import (
@@ -41,6 +42,23 @@ _UTIL_SPEC = ProgramSpec(
 )
 
 
+def resolve_sim_shards(explicit: Optional[int] = None) -> int:
+    """Shard count for the parallel simulation core (DESIGN.md §11).
+
+    ``explicit`` wins; otherwise the ``DMTCP_SIM_SHARDS`` environment
+    variable; otherwise 1 (plain serial engine).  Harness entry points
+    call this to decide between a serial run and
+    :func:`repro.sim.parallel.run_sharded`.
+    """
+    if explicit is not None:
+        shards = int(explicit)
+    else:
+        shards = int(os.environ.get("DMTCP_SIM_SHARDS", "1") or "1")
+    if shards < 1:
+        raise ValueError(f"sim_shards must be >= 1, got {shards}")
+    return shards
+
+
 class DmtcpComputation:
     """One coordinator plus every process launched under it."""
 
@@ -56,8 +74,21 @@ class DmtcpComputation:
         relay: bool = False,
         supervise: bool = False,
         tree_fanout: Optional[int] = None,
+        sim_shards: Optional[int] = None,
     ):
         self.world = world
+        #: Parallel simulation core (repro.sim.parallel): how many engine
+        #: shards this computation expects to run on.  The world must
+        #: already be bound to a shard context (ShardContext.bind) when
+        #: shards > 1 -- the binding is per-world and SPMD, so it cannot
+        #: be installed retroactively from inside one replica.
+        self.sim_shards = resolve_sim_shards(sim_shards)
+        if self.sim_shards > 1 and world.shard is None:
+            raise ValueError(
+                f"sim_shards={self.sim_shards} but the world has no shard "
+                "binding; build the computation inside a scenario run by "
+                "repro.sim.parallel.run_sharded (see harness/parallel.py)"
+            )
         self.coordinator_host = coordinator_host or world.machine.hostnames[0]
         self.port = port
         self.ckpt_dir = ckpt_dir
@@ -310,7 +341,13 @@ class DmtcpComputation:
         handle = self.request_checkpoint(kill=kill, forked=forked)
         self.world.engine.run_until(lambda: handle["outcome"] is not None)
         outcome = handle["outcome"]
-        if outcome is None:  # pragma: no cover - run_until raises first
+        if outcome is None:
+            shard = self.world.shard
+            if shard is not None and not shard.owns(self.coordinator_host):
+                # sharded SPMD run: the coordinator -- and therefore the
+                # outcome -- lives on the shard owning its host; this
+                # replica participated in the windows and is done
+                return None
             raise CheckpointError("checkpoint did not complete")
         return outcome
 

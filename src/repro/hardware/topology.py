@@ -34,6 +34,87 @@ class Machine:
         return [n.hostname for n in self.nodes]
 
 
+@dataclass(frozen=True)
+class ShardPlan:
+    """Partition of the machine file onto parallel simulation shards.
+
+    Nodes are split into ``n_shards`` contiguous blocks of the machine
+    file (block partitioning keeps a rack's worth of neighbours -- and a
+    gateway subtree, which NodeSet rank order makes contiguous --
+    co-resident, so most coordination traffic stays shard-local).  The
+    plan is pure data derived only from the hostname list, so every
+    shard, at any shard count, computes the identical plan.
+    """
+
+    hostnames: tuple
+    n_shards: int
+
+    @classmethod
+    def build(cls, hostnames: Sequence[str], n_shards: int) -> "ShardPlan":
+        hostnames = tuple(hostnames)
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        n_shards = min(n_shards, len(hostnames)) or 1
+        return cls(hostnames=hostnames, n_shards=n_shards)
+
+    def owner(self, hostname: str) -> int:
+        """Shard id owning ``hostname`` (raises KeyError if unknown)."""
+        return self._owners()[hostname]
+
+    def shard_hosts(self, shard_id: int) -> list[str]:
+        """Hostnames owned by ``shard_id``, in machine-file order."""
+        owners = self._owners()
+        return [h for h in self.hostnames if owners[h] == shard_id]
+
+    def node_rank(self, hostname: str) -> int:
+        """Machine-file position (the deterministic merge-order key)."""
+        return self._ranks()[hostname]
+
+    def _owners(self) -> dict:
+        owners = self.__dict__.get("_owners_cache")
+        if owners is None:
+            n = len(self.hostnames)
+            per, extra = divmod(n, self.n_shards)
+            owners, i = {}, 0
+            for shard in range(self.n_shards):
+                block = per + (1 if shard < extra else 0)
+                for host in self.hostnames[i : i + block]:
+                    owners[host] = shard
+                i += block
+            object.__setattr__(self, "_owners_cache", owners)
+        return owners
+
+    def _ranks(self) -> dict:
+        ranks = self.__dict__.get("_ranks_cache")
+        if ranks is None:
+            ranks = {h: i for i, h in enumerate(self.hostnames)}
+            object.__setattr__(self, "_ranks_cache", ranks)
+        return ranks
+
+
+def shard_lookahead_s(spec: HardwareSpec, plan: Optional[ShardPlan] = None) -> float:
+    """Conservative lookahead window width for sharded execution.
+
+    The bound is the minimum latency of any link that can cross a shard
+    boundary: a message sent at ``t`` inside window ``[W, W + L)`` cannot
+    arrive before ``t + L >= W + L``, so every cross-shard effect
+    produced during a window lands at or after the next window start and
+    exchanging messages once per window boundary is sufficient.  The
+    modeled fabric is a uniform switched Ethernet (every cross-node path
+    costs at least ``network.latency_s`` of propagation, before
+    per-message CPU and serialization), so the minimum over cross-shard
+    links is simply that latency -- independent of the particular
+    partition, which is exactly what keeps the window schedule identical
+    across shard counts.  ``plan`` is accepted for forward compatibility
+    with per-link latency maps.
+    """
+    del plan  # uniform fabric: the partition cannot change the minimum
+    lookahead = spec.network.latency_s
+    if lookahead <= 0:
+        raise ValueError("sharded execution needs a positive link latency")
+    return lookahead
+
+
 def build_machine(
     engine: Engine,
     spec: HardwareSpec,

@@ -77,9 +77,15 @@ class SocketEndpoint(Description):
         self.closed = True
         peer = self.peer
         if peer is not None and not peer.closed:
-            # FIN after one propagation delay
-            delay = 0.0 if peer.node is self.node else self.world.spec.network.latency_s
-            self.world.engine.call_after(delay, peer.rx.set_eof)
+            fin = getattr(peer, "fabric_fin", None)
+            if fin is not None:
+                # cross-shard peer: the FIN becomes a fabric message whose
+                # arrival timestamp carries the propagation delay
+                fin()
+            else:
+                # FIN after one propagation delay
+                delay = 0.0 if peer.node is self.node else self.world.spec.network.latency_s
+                self.world.engine.call_after(delay, peer.rx.set_eof)
         self.rx.cancel_waiters()
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -221,6 +227,11 @@ def transmit(world: "World", src: SocketEndpoint, chunk: Chunk, force: bool = Fa
     peer = src.peer
     if peer.closed:
         raise SyscallError("ECONNRESET", f"socket inode {src.inode}")
+    if getattr(peer, "fabric_cid", None) is not None:
+        # cross-shard connection: the chunk ships as a timestamped fabric
+        # message (always synchronous; no remote back-pressure modeled)
+        peer.fabric_transmit(src, chunk)
+        return None
     if force:
         peer.rx._reserved += min(chunk.nbytes, peer.rx.capacity)
     elif not peer.rx.try_reserve(chunk.nbytes):

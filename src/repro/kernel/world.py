@@ -308,6 +308,12 @@ class World:
         self.interpose_factories: dict[str, Callable[["World", Process, Sys], Sys]] = {}
         #: All processes ever spawned, for post-mortem inspection.
         self.all_processes: list[Process] = []
+        #: Sharded execution (repro.sim.parallel): the shard binding and
+        #: its kernel fabric layer, or None when running serially.  When
+        #: set, spawns filter to owned nodes and cross-node connects go
+        #: through the fabric.
+        self.shard = None
+        self.fabric = None
         #: Syscall-name -> bound handler cache (avoids a per-dispatch
         #: f-string + getattr on the hot path).
         self._sys_handlers: dict[str, Callable] = {}
@@ -348,6 +354,15 @@ class World:
         ns = self.node_state(hostname)
         if ns.down:
             raise SyscallError("EHOSTDOWN", hostname)
+        shard = self.shard
+        if shard is not None and not shard.owns(hostname):
+            # SPMD spawn filter: the owning shard instantiates the real
+            # process; this replica holds a stub (per-node pid/port
+            # counters stay untouched, so owned sequences never skew)
+            from repro.kernel.fabric import RemoteProcess
+
+            shard.stats["remote_spawns"] += 1
+            return RemoteProcess(hostname, program, argv or [program])
         pid = ns.alloc_pid()
         process = Process(self, ns.node, pid, program, argv or [program], env or {}, parent)
         ns.processes[pid] = process
@@ -1108,6 +1123,12 @@ class World:
         ep = self._socket_desc(process, fd)
         if ep.connected:
             raise SyscallError("EISCONN", f"fd {fd}")
+        if self.shard is not None and path is None and host != process.node.hostname:
+            # sharded runtime: every cross-node connect handshakes over
+            # the fabric (even shard-locally -- identical timing at any
+            # shard count is what pins shards=1 == shards=N)
+            self.fabric.connect(task, process, ep, host, port)
+            return
         listener = self.lookup_listener(host, port, path)
         rtt = 2 * self.spec.network.latency_s if process.node.hostname != host else 1e-6
         if listener is None or listener.closed:

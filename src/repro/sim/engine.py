@@ -31,6 +31,23 @@ from repro.errors import SimulationError
 _new_event = object.__new__
 
 
+def _drain_cancelled(heap: list, ready: deque) -> None:
+    """Drop cancelled events from the front of both queues.
+
+    This is THE cancelled-event drain: ``step``/``run``/``run_until`` all
+    had private inlined copies that could (and did) drift.  The hot loops
+    keep their borrowed ``heap``/``ready`` locals and a two-comparison
+    inline guard, and only call here when a cancelled event is actually
+    at the front -- so the common case pays no call overhead while the
+    drain logic itself exists exactly once.
+    """
+    heappop = heapq.heappop
+    while heap and heap[0][2].cancelled:
+        heappop(heap)
+    while ready and ready[0].cancelled:
+        ready.popleft()
+
+
 class Event:
     """A cancellable scheduled callback.
 
@@ -87,6 +104,12 @@ class Engine:
     #: the hook at all.
     _fire_hook_default = None
     _debug_fire_hook = None
+
+    #: Sharded execution (repro.sim.parallel): when a ShardGate is
+    #: installed, the driver-facing ``run``/``run_until`` become global
+    #: windowed operations synchronized with the other shards; the gate
+    #: drives local execution through ``run_window``.
+    _shard_gate = None
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -198,27 +221,42 @@ class Engine:
 
     def peek_time(self) -> Optional[float]:
         """Virtual time of the next live event, or None if idle."""
-        self._drop_cancelled()
+        _drain_cancelled(self._heap, self._ready)
         if self._ready:
             return self.now
         return self._heap[0][0] if self._heap else None
 
     def _drop_cancelled(self) -> None:
-        heap = self._heap
-        while heap and heap[0][2].cancelled:
-            heapq.heappop(heap)
-        ready = self._ready
-        while ready and ready[0].cancelled:
-            ready.popleft()
+        _drain_cancelled(self._heap, self._ready)
+
+    def _advance_now(self, time: float) -> None:
+        """Jump the clock forward to ``time`` (shard-gate normalization).
+
+        Used by repro.sim.parallel when a windowed run stops: every shard
+        adopts the same global stop time so subsequent driver actions see
+        an identical clock in every sharding.  Going backwards is a bug.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot move clock backwards: now={self.now}, target={time}"
+            )
+        self.now = time
 
     def step(self) -> bool:
-        """Execute the next event.  Returns False if the queues were empty."""
+        """Execute the next event.  Returns False if the queues were empty.
+
+        Note: unlike ``run``, ``step`` takes no ``until`` clamp -- callers
+        that need a bounded run must use ``run(until=...)``.
+        """
+        if self._shard_gate is not None:
+            raise SimulationError(
+                "Engine.step() is unavailable under sharded execution; "
+                "use run()/run_until(), which synchronize across shards"
+            )
         heap = self._heap
-        while heap and heap[0][2].cancelled:
-            heapq.heappop(heap)
         ready = self._ready
-        while ready and ready[0].cancelled:
-            ready.popleft()
+        if (heap and heap[0][2].cancelled) or (ready and ready[0].cancelled):
+            _drain_cancelled(heap, ready)
         if ready:
             # ready events sit at the current timestamp; heap entries at
             # the same timestamp are older (smaller seq) and fire first
@@ -247,30 +285,55 @@ class Engine:
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
         """Run events until the queues drain or ``until`` is passed.
 
-        ``max_events`` is a runaway-loop backstop; hitting it raises
+        Calling with ``until < now`` is a no-op: virtual time never moves
+        backwards (it used to silently rewind the clock).  ``max_events``
+        is a runaway-loop backstop; hitting it raises
         :class:`SimulationError` rather than hanging the test suite.
         """
+        if self._shard_gate is not None:
+            return self._shard_gate.run(until=until, max_events=max_events)
+        if until is not None and until < self.now:
+            return
+        self._run_loop(until, max_events, exclusive=False)
+
+    def run_window(
+        self, horizon: float, inclusive: bool = False, max_events: int = 50_000_000
+    ) -> None:
+        """Run local events with ``time < horizon`` (``<=`` if inclusive).
+
+        This is the shard-local half of a conservative lookahead window
+        (repro.sim.parallel): the gate guarantees no cross-shard message
+        can arrive before ``horizon``, so everything strictly earlier is
+        safe to execute.  Unlike ``run`` it never touches the clock on
+        return -- ``now`` stays at the last fired event so the next
+        window (or an injected completion at exactly ``horizon``) can
+        still be scheduled with ``call_at``.
+        """
+        self._run_loop(horizon, max_events, exclusive=not inclusive)
+
+    def _run_loop(
+        self, until: Optional[float], max_events: int, exclusive: bool
+    ) -> None:
         if self._running:
             raise SimulationError("Engine.run() is not reentrant")
         self._running = True
         # the step() body is inlined here (and in run_until): the loop
         # fires hundreds of thousands of events per scenario and the
-        # method-call + double cancel-drop overhead is measurable
+        # method-call + double cancel-drop overhead is measurable; the
+        # cancelled-drain itself lives in _drain_cancelled behind a
+        # front-of-queue guard
         heap = self._heap
         ready = self._ready
         heappop = heapq.heappop
         fired = 0
         try:
             while True:
-                while heap and heap[0][2].cancelled:
-                    heappop(heap)
-                while ready and ready[0].cancelled:
-                    ready.popleft()
+                if (heap and heap[0][2].cancelled) or (ready and ready[0].cancelled):
+                    _drain_cancelled(heap, ready)
                 if ready:
-                    if until is not None and self.now > until:
-                        self.now = until
-                        return
-                    # ready events sit at the current timestamp; heap
+                    # ready events sit at the current timestamp (always
+                    # inside any window or clamp, since the clock only
+                    # advances through in-bounds heap events); heap
                     # entries at the same time are older and fire first
                     if heap and heap[0][0] <= self.now:
                         ev = heappop(heap)[2]
@@ -278,9 +341,13 @@ class Engine:
                         ev = ready.popleft()
                 elif heap:
                     next_time = heap[0][0]
-                    if until is not None and next_time > until:
-                        self.now = until
-                        return
+                    if until is not None:
+                        if exclusive:
+                            if next_time >= until:
+                                return
+                        elif next_time > until:
+                            self.now = until
+                            return
                     ev = heappop(heap)[2]
                     self.now = next_time
                 else:
@@ -306,6 +373,8 @@ class Engine:
 
     def run_until(self, predicate: Callable[[], bool], max_events: int = 50_000_000) -> None:
         """Run until ``predicate()`` becomes true.  Raises if the queues drain first."""
+        if self._shard_gate is not None:
+            return self._shard_gate.run_until(predicate, max_events=max_events)
         if self._running:
             raise SimulationError("Engine.run_until() is not reentrant")
         self._running = True
@@ -315,10 +384,8 @@ class Engine:
         fired = 0
         try:
             while not predicate():
-                while heap and heap[0][2].cancelled:
-                    heappop(heap)
-                while ready and ready[0].cancelled:
-                    ready.popleft()
+                if (heap and heap[0][2].cancelled) or (ready and ready[0].cancelled):
+                    _drain_cancelled(heap, ready)
                 if ready:
                     if heap and heap[0][0] <= self.now:
                         ev = heappop(heap)[2]

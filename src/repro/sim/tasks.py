@@ -343,6 +343,66 @@ class Task:
         return f"<Task {self.name} {self.state.value}>"
 
 
+class IOCompletion:
+    """A reified I/O completion aimed at a blocked task.
+
+    This is the task/IO-completion boundary made explicit.  Kernel
+    handlers historically finished calls by invoking
+    ``task.complete_call``/``fail_call`` directly from whatever closure
+    observed the hardware event, each re-implementing the "is this
+    completion still current?" guard (task finished, epoch moved on by
+    :meth:`Task.seal`, task frozen by a checkpoint, call already
+    serviced).  An ``IOCompletion`` captures the target task and its
+    epoch at creation time and centralizes that guard in
+    :meth:`deliver`, so a completion can travel as plain data -- queued,
+    timestamped, shipped across the shard fabric (repro.sim.parallel) --
+    and be delivered later without the producer holding live kernel
+    references.  The node-local hot paths keep calling
+    ``complete_call`` directly; this type is the seam for completions
+    that cross an execution boundary.
+    """
+
+    __slots__ = ("task", "value", "exc", "epoch")
+
+    def __init__(
+        self, task: "Task", value: Any = None, exc: Optional[BaseException] = None
+    ):
+        self.task = task
+        self.value = value
+        self.exc = exc
+        self.epoch = task.epoch
+
+    def stale(self) -> bool:
+        """True when delivering would be a no-op (target moved on)."""
+        task = self.task
+        return (
+            task.done
+            or task.epoch != self.epoch
+            or task.state is TaskState.FROZEN
+            or task.pending_call is None
+        )
+
+    def deliver(self) -> bool:
+        """Complete (or fail) the pending call; False if stale.
+
+        A frozen target refuses delivery -- its pending call is
+        re-dispatched whole at thaw, exactly like the kernel's own wait
+        queues -- and a sealed epoch severs completions from a dead
+        pre-checkpoint context.
+        """
+        if self.stale():
+            return False
+        if self.exc is not None:
+            self.task.fail_call(self.exc)
+        else:
+            self.task.complete_call(self.value)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "fail" if self.exc is not None else "ok"
+        return f"<IOCompletion {kind} -> {self.task.name} epoch={self.epoch}>"
+
+
 class FailureLog:
     """Bounded, queryable record of tasks that died with an error.
 
@@ -443,6 +503,20 @@ class Scheduler:
         self.tasks.add(task)
         self._schedule_resume(task, None)
         return task
+
+    def complete_at(self, time: float, completion: IOCompletion) -> Event:
+        """Deliver an :class:`IOCompletion` at absolute virtual ``time``.
+
+        The deferred-delivery half of the task/IO-completion split: the
+        producer decides *when* the effect lands (e.g. a cross-shard
+        message's arrival timestamp); the completion itself decides
+        *whether* it still applies.
+        """
+        return self.engine.call_at(time, completion.deliver)
+
+    def complete_after(self, delay: float, completion: IOCompletion) -> Event:
+        """Deliver an :class:`IOCompletion` after ``delay`` virtual seconds."""
+        return self.engine.call_after(delay, completion.deliver)
 
     # ------------------------------------------------------------------
     # Internal trampoline
