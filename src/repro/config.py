@@ -178,6 +178,18 @@ class DmtcpSpec:
     #: gateway probes its own children so silent subtree deaths surface
     #: locally instead of all at the root.
     tree_heartbeat_s: float = 2.0
+    # -- content-addressed checkpoint store (repro.store; enabled via
+    # DmtcpComputation(store=True) / DMTCP_STORE=1, inert otherwise) -----
+    #: Chunk size for content addressing.  Region-boundary aware: chunks
+    #: never span regions, the last chunk of a region may be short.
+    store_chunk_bytes: int = 2**20
+    #: Replication factor k (override per run with DMTCP_STORE_REPLICAS).
+    store_replicas: int = 2
+    #: Nodes per rack for rack-diverse replica placement (node_id // size).
+    store_rack_size: int = 8
+    #: Anti-entropy repair sweep period (re-replicates under-replicated
+    #: chunks after node loss; runs while an AutoRestartSupervisor does).
+    store_repair_interval_s: float = 2.0
 
 
 @dataclass(frozen=True)

@@ -147,8 +147,16 @@ class EstimateCache:
         cpu: CpuSpec,
         enabled: bool = True,
         nworkers: int = 1,
+        content_key=None,
     ) -> CompressionEstimate:
-        key = (tuple(sorted(regions)), cpu, enabled, nworkers)
+        """``content_key`` keys the entry by content hash instead of the
+        region multiset: with the chunk store enabled, rank 0's estimate
+        of a shared chunk is a first-checkpoint cache hit for every other
+        rank (the store guarantees equal keys mean equal bytes)."""
+        if content_key is not None:
+            key = (content_key, cpu, enabled, nworkers)
+        else:
+            key = (tuple(sorted(regions)), cpu, enabled, nworkers)
         est = self._store.get(key)
         if est is not None:
             self.hits += 1
@@ -173,9 +181,12 @@ def estimate_cached(
     cpu: CpuSpec,
     enabled: bool = True,
     nworkers: int = 1,
+    content_key=None,
 ) -> CompressionEstimate:
     """Memoized :func:`estimate` (see :class:`EstimateCache`)."""
-    return ESTIMATE_CACHE.get(regions, cpu, enabled=enabled, nworkers=nworkers)
+    return ESTIMATE_CACHE.get(
+        regions, cpu, enabled=enabled, nworkers=nworkers, content_key=content_key
+    )
 
 
 def profile_report() -> dict[str, dict[str, float]]:

@@ -149,6 +149,14 @@ class CoordinatorState:
     last_progress: float = 0.0
     aborts: int = 0
     last_abort_reason: Optional[str] = None
+    #: content-addressed chunk store (DMTCP_STORE=1): shared with the
+    #: host-side DmtcpComputation and the world; deliberately NOT reset
+    #: by coordinator respawns -- the store's metadata plane survives a
+    #: coordinator crash the way a real external metadata service would.
+    store: Optional[Any] = None
+    #: ckpt_ids whose lineage skip was already logged (supervisor-side
+    #: dedup so a polling loop cannot inflate the counters).
+    lineage_skips_logged: set = field(default_factory=set)
 
     @property
     def member_count(self) -> int:
@@ -395,6 +403,34 @@ def _handle_connection(sys: Sys, state: CoordinatorState, cfd: int):
                     rfd,
                     P.msg(P.MSG_ADVERTISE_BCAST, key=key, host=message["host"], port=message["port"]),
                 )
+        elif kind == P.MSG_STORE_MANIFEST:
+            # chunk-store metadata plane: lease the not-yet-stored chunks
+            # of this writer's manifest back to it (everything else is a
+            # dedup hit).  Rides a private writer connection at barrier 5.
+            need = state.store.lease(
+                message["refs"],
+                (message["host"], message["vpid"]),
+                message["ckpt_id"],
+            )
+            try:
+                yield from send_frame(
+                    sys,
+                    cfd,
+                    P.msg(P.MSG_STORE_LEASE, need=need),
+                    64 + 8 * max(len(need), 1),
+                )
+            except SyscallError:
+                _drop_connection(state, cfd)
+                return
+        elif kind == P.MSG_STORE_COMMIT:
+            state.store.commit(message["digests"], message["host"])
+            try:
+                yield from send_frame(
+                    sys, cfd, P.msg(P.MSG_STORE_OK), P.CTL_FRAME_BYTES
+                )
+            except SyscallError:
+                _drop_connection(state, cfd)
+                return
         elif kind == P.MSG_GOODBYE:
             _drop_connection(state, cfd)
             return

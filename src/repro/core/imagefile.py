@@ -41,6 +41,12 @@ class RegionImage:
     #: Original region id, restored verbatim: MTCP maps memory back at its
     #: original addresses, so the app's held region handles stay valid.
     region_id: Optional[int] = None
+    #: Content-addressed store (DMTCP_STORE=1): the region's content key,
+    #: chunk generations, and chunk manifest rows ``[digest, nbytes,
+    #: profile]``.  None on the monolithic path.
+    content_key: Optional[str] = None
+    chunk_gens: Optional[dict] = None
+    chunks: Optional[list] = None
 
 
 @dataclass
@@ -145,6 +151,18 @@ class CheckpointImage:
             (r.size if r.dirty_bytes is None else r.dirty_bytes, r.profile)
             for r in self.regions
         ]
+
+    @property
+    def store_refs(self) -> Optional[list]:
+        """Flat chunk-reference list when this is a store manifest image:
+        ``[[digest, nbytes, profile], ...]`` across all regions, in region
+        order; None when the image carries a monolithic payload."""
+        if not self.regions or self.regions[0].chunks is None:
+            return None
+        refs: list = []
+        for region in self.regions:
+            refs.extend(region.chunks or [])
+        return refs
 
     @property
     def conn_keys(self) -> list[str]:

@@ -27,7 +27,7 @@ from repro.core.coordinator import (
 from repro.core.hijack import DmtcpRuntime, WrappedSys
 from repro.core.manager import manager_main
 from repro.core.restart import make_restart_program
-from repro.errors import CheckpointError, RestartError
+from repro.errors import CheckpointError, RestartError, SimulationError
 from repro.kernel.process import ProgramSpec, RegionSpec
 from repro.kernel.world import HIJACK_ENV, World
 
@@ -59,6 +59,23 @@ def resolve_sim_shards(explicit: Optional[int] = None) -> int:
     return shards
 
 
+def resolve_store_replicas(explicit: Optional[int], spec) -> int:
+    """Replication factor for the chunk store (DESIGN.md §12).
+
+    ``explicit`` wins; otherwise the ``DMTCP_STORE_REPLICAS`` environment
+    variable; otherwise :attr:`DmtcpSpec.store_replicas`.
+    """
+    if explicit is not None:
+        replicas = int(explicit)
+    else:
+        replicas = int(
+            os.environ.get("DMTCP_STORE_REPLICAS", "") or spec.store_replicas
+        )
+    if replicas < 1:
+        raise ValueError(f"store replicas must be >= 1, got {replicas}")
+    return replicas
+
+
 class DmtcpComputation:
     """One coordinator plus every process launched under it."""
 
@@ -75,6 +92,8 @@ class DmtcpComputation:
         supervise: bool = False,
         tree_fanout: Optional[int] = None,
         sim_shards: Optional[int] = None,
+        store: bool = False,
+        store_replicas: Optional[int] = None,
     ):
         self.world = world
         #: Parallel simulation core (repro.sim.parallel): how many engine
@@ -83,6 +102,15 @@ class DmtcpComputation:
         #: shards > 1 -- the binding is per-world and SPMD, so it cannot
         #: be installed retroactively from inside one replica.
         self.sim_shards = resolve_sim_shards(sim_shards)
+        if store and self.sim_shards > 1:
+            raise SimulationError(
+                "the checkpoint store is serial-only: chunk traffic is "
+                "modeled directly against node disks/NICs, which the "
+                f"sharded fabric cannot carry yet (sim_shards="
+                f"{self.sim_shards}). Run with sim_shards=1 (or unset "
+                "DMTCP_SIM_SHARDS) -- the serial fallback -- to enable "
+                "DMTCP_STORE."
+            )
         if self.sim_shards > 1 and world.shard is None:
             raise ValueError(
                 f"sim_shards={self.sim_shards} but the world has no shard "
@@ -113,6 +141,19 @@ class DmtcpComputation:
             self.state.supervise = True
             self.state.barrier_timeout_s = dspec.barrier_timeout_s
             self.state.heartbeat_interval_s = dspec.heartbeat_interval_s
+        #: content-addressed checkpoint image store (repro.store): chunk
+        #: dedup across ranks/generations, k-way replication, anti-entropy
+        #: repair, streaming restart from the nearest live replica
+        self.store = None
+        if store:
+            from repro.store import ChunkStore
+
+            self.store = ChunkStore(
+                world,
+                replicas=resolve_store_replicas(store_replicas, world.spec.dmtcp),
+            )
+            world.store = self.store
+            self.state.store = self.store
         #: connection-table stash across exec (the hijack library persists
         #: its state across the exec boundary; Section 4.2's exec wrappers)
         self._exec_stash: dict[tuple[str, int], DmtcpRuntime] = {}
@@ -224,6 +265,9 @@ class DmtcpComputation:
         }
         if self.incremental:
             env["DMTCP_INCREMENTAL"] = "1"
+        if self.store is not None:
+            env["DMTCP_STORE"] = "1"
+            env["DMTCP_STORE_REPLICAS"] = str(self.store.replicas)
         if self.relay:
             env["DMTCP_RELAY_PORT"] = str(self.relay_port)
         if self.tree_fanout:
@@ -298,6 +342,12 @@ class DmtcpComputation:
         a :class:`CheckpointOutcome` on success, or the coordinator's
         refusal kind (``"busy"``, ``"aborted"``) as a plain string.
         """
+        if forked and self.store is not None:
+            raise ValueError(
+                "forked checkpointing is incompatible with the chunk store: "
+                "the store's lease/commit exchange finalizes stored_bytes "
+                "inside the write, which a background COW writer would race"
+            )
         handle: dict = {"outcome": None}
 
         def on_complete(outcome: CheckpointOutcome) -> None:
@@ -377,6 +427,8 @@ class DmtcpComputation:
         if plan is None:
             raise RestartError("no checkpoint to restart from")
         placement = placement or {}
+        if self.store is not None:
+            self._check_store_restorable(plan)
         handle: dict = {"outcome": None}
 
         def on_complete(outcome: RestartOutcome) -> None:
@@ -398,6 +450,25 @@ class DmtcpComputation:
             argv.extend([str(total), *paths])
             self.world.spawn_process(target, "dmtcp_restart", argv, env)
         return handle
+
+    def _check_store_restorable(self, plan) -> None:
+        """Fail fast when a manifest references chunks with no live
+        replica: the restarters would wedge mid-restore otherwise.  The
+        AutoRestartSupervisor applies the same filter when *selecting* a
+        plan; this guards direct ``restart()`` calls."""
+        from repro.faults.supervisor import _image_file
+
+        for host, paths in sorted(plan.images_by_host.items()):
+            for path in paths:
+                file = _image_file(self.world, host, path)
+                payload = file.payload if file is not None else None
+                if payload is not None and not self.store.image_restorable(payload):
+                    raise RestartError(
+                        f"checkpoint {plan.ckpt_id}: image {path} references "
+                        "chunks with no live replica; reboot the holders or "
+                        "wait for anti-entropy repair, or restart from an "
+                        "older checkpoint"
+                    )
 
     def restart(
         self,

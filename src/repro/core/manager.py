@@ -379,13 +379,14 @@ def _checkpoint_stages(
     # consistent, so even if a later stage aborts the image must survive
     # (incremental deltas may already chain to it next round)
     ctx["image_committed"] = True
-    if mtcp.incremental_enabled(process.env):
+    if mtcp.incremental_enabled(process.env) or mtcp.store_enabled(process.env):
         # every process has finished writing (Barrier 5 released) and user
         # threads stay suspended until stage 7, so clearing dirty bits --
         # including on regions shared with sibling processes -- cannot race
         # with a write that the image missed
         for region in process.address_space.regions:
             region.clean()
+    if mtcp.incremental_enabled(process.env):
         runtime.last_image_path = image_path
         runtime.chain_depth = image.chain_depth
     clock.end("write")

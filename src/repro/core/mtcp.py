@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.core import compression
+from repro.core import protocol as P
 from repro.core.imagefile import (
     CheckpointImage,
     FdImage,
@@ -21,7 +22,8 @@ from repro.core.imagefile import (
 from repro.errors import SyscallError
 from repro.kernel.filesystem import OpenFile
 from repro.kernel.sockets import ListenerSocket, SocketEndpoint
-from repro.kernel.syscalls import Sys
+from repro.kernel.streams import FrameAssembler
+from repro.kernel.syscalls import Sys, recv_frame, send_frame
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.hijack import DmtcpRuntime
@@ -33,6 +35,11 @@ METADATA_BYTES = 64 * 1024
 def incremental_enabled(env: dict) -> bool:
     """Is the incremental checkpoint pipeline on for this process?"""
     return env.get("DMTCP_INCREMENTAL", "0") == "1"
+
+
+def store_enabled(env: dict) -> bool:
+    """Is the content-addressed chunk store on for this process?"""
+    return env.get("DMTCP_STORE", "0") == "1"
 
 
 def atomic_images_enabled(env: dict) -> bool:
@@ -69,7 +76,7 @@ def gzip_workers(runtime: "DmtcpRuntime") -> int:
     raw = runtime.process.env.get("DMTCP_GZIP_WORKERS")
     if raw is not None:
         return max(int(raw), 1)
-    if incremental_enabled(runtime.process.env):
+    if incremental_enabled(runtime.process.env) or store_enabled(runtime.process.env):
         return max(runtime.world.spec.cpu.cores, 1)
     return 1
 
@@ -83,6 +90,28 @@ def _estimate(world, regions: list[tuple[int, str]], enabled: bool, nworkers: in
     )
     if tracer.enabled and compression.ESTIMATE_CACHE.hits > before:
         tracer.count("mtcp.estimate_cache_hits")
+    return est
+
+
+def _chunk_estimate(world, digest: str, nbytes: int, profile: str, enabled: bool):
+    """Per-chunk compression estimate, memoized by *content hash*.
+
+    Keying on the digest (not the region multiset) means rank 0's
+    estimate of a shared chunk is a first-checkpoint cache hit for every
+    other rank holding the same content -- the store's equal-digest ==
+    equal-bytes guarantee makes that sound.
+    """
+    tracer = world.tracer
+    before = compression.ESTIMATE_CACHE.hits
+    est = compression.estimate_cached(
+        [(nbytes, profile)],
+        world.spec.cpu,
+        enabled=enabled,
+        nworkers=1,
+        content_key=digest,
+    )
+    if tracer.enabled and compression.ESTIMATE_CACHE.hits > before:
+        tracer.count("store.estimate_cache_hits")
     return est
 
 
@@ -133,6 +162,11 @@ def plan_delta(runtime: "DmtcpRuntime") -> bool:
     exceed ``incremental_dirty_threshold`` (past that a delta saves
     nothing and only lengthens restart replay).
     """
+    if store_enabled(runtime.process.env):
+        # Store images are always "full" manifests: unchanged chunks dedup
+        # against prior generations in the store itself, so delta chains
+        # (and their orphaned-lineage failure mode) are unnecessary.
+        return False
     if not incremental_enabled(runtime.process.env):
         return False
     if runtime.last_image_path is None:
@@ -267,12 +301,66 @@ def build_image(runtime: "DmtcpRuntime", ckpt_id: int, drained: dict[int, list])
         image.parent_image = runtime.last_image_path
         image.chain_depth = runtime.chain_depth + 1
     image.gzip_workers = gzip_workers(runtime)
-    est = _estimate(
-        runtime.world, image.payload_regions(), compressed, image.gzip_workers
-    )
-    image.image_bytes = est.input_bytes + METADATA_BYTES
-    image.stored_bytes = est.output_bytes + METADATA_BYTES
+    store = runtime.world.store
+    if store is not None and store_enabled(process.env):
+        _build_store_manifest(runtime, image, store)
+    else:
+        est = _estimate(
+            runtime.world, image.payload_regions(), compressed, image.gzip_workers
+        )
+        image.image_bytes = est.input_bytes + METADATA_BYTES
+        image.stored_bytes = est.output_bytes + METADATA_BYTES
     return image
+
+
+def store_manifest_bytes(image: CheckpointImage) -> int:
+    """On-disk size of a store manifest image: metadata plus one fixed
+    reference row per chunk (no payload bytes -- those live in the store)."""
+    refs = image.store_refs or []
+    return METADATA_BYTES + P.STORE_REF_BYTES * len(refs)
+
+
+def _build_store_manifest(runtime: "DmtcpRuntime", image: CheckpointImage, store) -> None:
+    """Attach chunk manifests to every region row of ``image``.
+
+    Bumps the write generations of each region's dirty chunk prefix
+    (once per checkpoint -- shared regions are visited by every attached
+    process) and records the resulting digests.  ``stored_bytes`` is a
+    provisional worst case here; the write path replaces it with the
+    manifest size plus this writer's actually-leased bytes.
+    """
+    from repro.store import advance_generations, region_chunks
+
+    chunk_bytes = store.chunk_bytes
+    logical = 0
+    stored = 0.0
+    for region, rimg in zip(runtime.process.address_space.regions, image.regions):
+        if (
+            region.written
+            and region.dirty_fraction > 0.0
+            and region.gen_marker != image.ckpt_id
+        ):
+            advance_generations(region, chunk_bytes)
+            region.gen_marker = image.ckpt_id
+        refs = region_chunks(
+            region.content_key,
+            region.region_id,
+            rimg.size,
+            region.profile.name,
+            region.chunk_gens,
+            chunk_bytes,
+        )
+        rimg.content_key = region.content_key
+        rimg.chunk_gens = dict(region.chunk_gens)
+        rimg.chunks = [[ref.digest, ref.nbytes, ref.profile] for ref in refs]
+        logical += rimg.size
+        for ref in refs:
+            est = _chunk_estimate(
+                runtime.world, ref.digest, ref.nbytes, ref.profile, image.compressed
+            )
+            stored += est.output_bytes
+    image.image_bytes = logical + METADATA_BYTES
+    image.stored_bytes = store_manifest_bytes(image) + int(stored)
 
 
 def write_image(sys: Sys, runtime: "DmtcpRuntime", image: CheckpointImage, path: str):
@@ -284,6 +372,10 @@ def write_image(sys: Sys, runtime: "DmtcpRuntime", image: CheckpointImage, path:
     spans.
     """
     world = runtime.world
+    store = world.store
+    if store is not None and store_enabled(runtime.process.env):
+        yield from _write_image_store(sys, runtime, image, path, store)
+        return
     tracer = world.tracer
     track = f"{image.hostname}/mtcp[{image.vpid}]"
     tracer.begin(track, "mtcp.write", cat="mtcp", path=path, delta=image.delta)
@@ -352,6 +444,164 @@ def write_image(sys: Sys, runtime: "DmtcpRuntime", image: CheckpointImage, path:
         )
 
 
+def _write_image_store(sys: Sys, runtime: "DmtcpRuntime", image: CheckpointImage, path: str, store):
+    """Stage 5, store mode: dedup against the cluster store, push unique bytes.
+
+    The writer sends its chunk manifest to the coordinator over a private
+    connection; the coordinator leases back only the chunks nobody has
+    stored yet (everything else is a dedup hit).  Leased chunks are
+    compressed (parallel gzip over independent chunk streams) and their
+    bytes pushed to each chunk's rendezvous-primary host; the image file
+    itself shrinks to a manifest.  Checkpoint cost is therefore
+    proportional to this writer's share of the *unique* bytes.
+    """
+    world = runtime.world
+    tracer = world.tracer
+    env = runtime.process.env
+    track = f"{image.hostname}/mtcp[{image.vpid}]"
+    tracer.begin(track, "mtcp.write", cat="mtcp", path=path, store=True)
+    try:
+        refs = image.store_refs or []
+        wire = []
+        for digest, nbytes, profile in refs:
+            est = _chunk_estimate(world, digest, nbytes, profile, image.compressed)
+            wire.append([digest, nbytes, profile, est.output_bytes])
+        timeout = (
+            world.spec.dmtcp.member_recv_timeout_s
+            if env.get("DMTCP_SUPERVISE", "0") == "1"
+            else None
+        )
+        fd = yield from sys.socket()
+        yield from sys.connect(
+            fd, env["DMTCP_COORD_HOST"], int(env["DMTCP_COORD_PORT"])
+        )
+        yield from send_frame(
+            sys,
+            fd,
+            P.msg(
+                P.MSG_STORE_MANIFEST,
+                ckpt_id=image.ckpt_id,
+                host=image.hostname,
+                vpid=image.vpid,
+                refs=wire,
+            ),
+            64 + P.STORE_REF_BYTES * max(len(wire), 1),
+        )
+        assembler = FrameAssembler()
+        result = yield from recv_frame(sys, fd, assembler, timeout=timeout)
+        reply = result[0] if result else None
+        if not isinstance(reply, dict) or reply.get("kind") != P.MSG_STORE_LEASE:
+            raise SyscallError("EPROTO", f"unexpected store reply {reply!r}")
+        need = reply["need"]
+        # Compress only the leased chunks -- independent streams, LPT over
+        # the image's gzip workers.
+        stream_seconds = []
+        for index, _target in need:
+            digest, nbytes, profile, _stored = wire[index]
+            est = _chunk_estimate(world, digest, nbytes, profile, image.compressed)
+            stream_seconds.append(est.compress_seconds)
+        compress = sum(stream_seconds)
+        if image.gzip_workers > 1 and len(stream_seconds) > 1:
+            compress = compression._critical_path(stream_seconds, image.gzip_workers)
+        if compress > 0:
+            yield from sys.cpu(compress)
+        # Push leased payloads to their placed hosts (local ones land in a
+        # segment file through the normal write syscall; remote ones
+        # stream over the NICs onto the target's disk).
+        local_bytes = 0
+        remote_bytes: dict[str, float] = {}
+        leased_stored = 0.0
+        for index, target in need:
+            stored = wire[index][3]
+            leased_stored += stored
+            if target == image.hostname:
+                local_bytes += stored
+            else:
+                remote_bytes[target] = remote_bytes.get(target, 0.0) + stored
+        if local_bytes:
+            ckpt_dir = env.get("DMTCP_CKPT_DIR", "/tmp/dmtcp")
+            seg = f"{ckpt_dir}/store_seg_{image.hostname}-{image.vpid}-c{image.ckpt_id}.dat"
+            sfd = yield from sys.open(seg, "w")
+            yield from sys.write(sfd, local_bytes)
+            if atomic_images_enabled(env):
+                yield from sys.fsync(sfd)
+            yield from sys.close(sfd)
+        me = world.machine.node(image.hostname)
+        push_futures = []
+        for target, nbytes in remote_bytes.items():
+            dst = world.machine.node(target)
+            me.nic_tx.submit(nbytes)
+            push_futures.append(dst.nic_rx.submit(nbytes))
+            push_futures.append(dst.disk.write(nbytes))
+        for fut in push_futures:
+            yield fut
+        # The image file is now just the manifest.
+        image.stored_bytes = store_manifest_bytes(image) + int(leased_stored)
+        mbytes = store_manifest_bytes(image)
+        if atomic_images_enabled(env):
+            ifd = yield from sys.open(path + ".tmp", "w")
+            yield from sys.write(ifd, mbytes, payload=image)
+            yield from sys.fsync(ifd)
+            yield from sys.close(ifd)
+            yield from sys.rename(path + ".tmp", path)
+            mfd = yield from sys.open(path + ".manifest", "w")
+            yield from sys.write(
+                mfd,
+                MANIFEST_BYTES,
+                payload={
+                    "checksum": image_checksum(image),
+                    "ckpt_id": image.ckpt_id,
+                    "stored_bytes": image.stored_bytes,
+                    "delta": False,
+                    "parent_image": None,
+                },
+            )
+            yield from sys.fsync(mfd)
+            yield from sys.close(mfd)
+        else:
+            ifd = yield from sys.open(path, "w")
+            yield from sys.write(ifd, mbytes, payload=image)
+            yield from sys.close(ifd)
+        digests = [wire[index][0] for index, _target in need]
+        yield from send_frame(
+            sys,
+            fd,
+            P.msg(P.MSG_STORE_COMMIT, host=image.hostname, digests=digests),
+            64 + 16 * max(len(digests), 1),
+        )
+        result = yield from recv_frame(sys, fd, assembler, timeout=timeout)
+        reply = result[0] if result else None
+        if not isinstance(reply, dict) or reply.get("kind") != P.MSG_STORE_OK:
+            raise SyscallError("EPROTO", f"unexpected commit reply {reply!r}")
+        yield from send_frame(sys, fd, P.msg(P.MSG_GOODBYE), P.CTL_FRAME_BYTES)
+        yield from sys.close(fd)
+    except SyscallError:
+        tracer.end(track, "mtcp.write", cat="mtcp")
+        raise
+    tracer.end(track, "mtcp.write", cat="mtcp")
+    if tracer.enabled:
+        page_bytes = world.spec.os.page_bytes
+        tracer.count("mtcp.images_written")
+        tracer.count("mtcp.image_bytes", image.image_bytes)
+        tracer.count("mtcp.stored_bytes", image.stored_bytes)
+        tracer.count("mtcp.pages_written", -(-image.stored_bytes // page_bytes))
+        tracer.count("store.manifest_chunks", len(refs))
+        tracer.count("store.chunks_leased", len(need))
+        tracer.instant(
+            track,
+            "mtcp.compression",
+            cat="mtcp",
+            compressed=image.compressed,
+            delta=False,
+            store=True,
+            chunks=len(refs),
+            leased=len(need),
+            image_bytes=image.image_bytes,
+            stored_bytes=image.stored_bytes,
+            ratio=round(image.stored_bytes / max(image.image_bytes, 1), 6),
+        )
+
+
 def read_image(sys: Sys, path: str, validate: bool = False):
     """Restart step 0: pull the image file back off storage.
 
@@ -400,30 +650,53 @@ def restore_memory(sys: Sys, world, process, image: CheckpointImage):
     (Section 4.5: recreate the file if missing and writable, overwrite if
     writable, else map file contents as-is).
     """
-    # Replay the image chain, base first: the full base instantiates every
-    # page, each delta gunzips and overwrites only its dirty pages.  The
-    # charged cost is therefore honest about the extra replay work an
-    # incremental restart does on top of a full one.
-    chain = image.chain or [image]
-    decompress = 0.0
-    instantiate_bytes = 0
-    for img in chain:
-        nworkers = min(max(img.gzip_workers, 1), max(world.spec.cpu.cores, 1))
-        est = _estimate(world, img.payload_regions(), img.compressed, nworkers)
-        decompress += est.decompress_seconds
-        instantiate_bytes += est.input_bytes
-    # gunzip plus page instantiation: copying image bytes into fresh
-    # mappings and faulting them in (Table 1b's dominant restore cost)
-    instantiate = instantiate_bytes / world.spec.os.page_restore_bps
-    if decompress + instantiate > 0:
-        yield from sys.cpu(decompress + instantiate)
+    refs = image.store_refs
+    store = world.store
+    if refs is not None and store is not None:
+        # Store mode: stream every chunk concurrently from its nearest
+        # live replica (fetch submits the disk/NIC work immediately, so
+        # transfers overlap the decompress/instantiate CPU burst below).
+        futures, _info = store.fetch(process.node.hostname, refs)
+        nworkers = min(max(image.gzip_workers, 1), max(world.spec.cpu.cores, 1))
+        stream_seconds = []
+        instantiate_bytes = 0
+        for digest, nbytes, profile in refs:
+            est = _chunk_estimate(world, digest, nbytes, profile, image.compressed)
+            stream_seconds.append(est.decompress_seconds)
+            instantiate_bytes += nbytes
+        decompress = sum(stream_seconds)
+        if nworkers > 1 and len(stream_seconds) > 1:
+            decompress = compression._critical_path(stream_seconds, nworkers)
+        instantiate = instantiate_bytes / world.spec.os.page_restore_bps
+        if decompress + instantiate > 0:
+            yield from sys.cpu(decompress + instantiate)
+        for fut in futures:
+            yield fut
+    else:
+        # Replay the image chain, base first: the full base instantiates
+        # every page, each delta gunzips and overwrites only its dirty
+        # pages.  The charged cost is therefore honest about the extra
+        # replay work an incremental restart does on top of a full one.
+        chain = image.chain or [image]
+        decompress = 0.0
+        instantiate_bytes = 0
+        for img in chain:
+            nworkers = min(max(img.gzip_workers, 1), max(world.spec.cpu.cores, 1))
+            est = _estimate(world, img.payload_regions(), img.compressed, nworkers)
+            decompress += est.decompress_seconds
+            instantiate_bytes += est.input_bytes
+        # gunzip plus page instantiation: copying image bytes into fresh
+        # mappings and faulting them in (Table 1b's dominant restore cost)
+        instantiate = instantiate_bytes / world.spec.os.page_restore_bps
+        if decompress + instantiate > 0:
+            yield from sys.cpu(decompress + instantiate)
     from repro.kernel.memory import AddressSpace, PROFILES
 
     space = AddressSpace(world.spec.os.page_bytes)
     process.address_space = space
     for region in image.regions:
         if region.shared and region.path is not None:
-            yield from _restore_shared_region(sys, process, region)
+            restored = yield from _restore_shared_region(sys, process, region)
         else:
             restored = space.map_region(
                 region.size, region.kind, PROFILES[region.profile], path=region.path
@@ -432,6 +705,14 @@ def restore_memory(sys: Sys, world, process, image: CheckpointImage):
                 # memory comes back at its original addresses (Section 4.5),
                 # so region handles held by the app stay valid
                 restored.region_id = region.region_id
+        if region.content_key is not None:
+            # Store mode: the rebuilt pages hold exactly the checkpointed
+            # content -- restore the region's content lineage so the next
+            # checkpoint's digests line up with what the store holds.
+            restored.content_key = region.content_key
+            restored.chunk_gens = dict(region.chunk_gens or {})
+            restored.dirty_fraction = 0.0
+            restored.written = False
 
 
 def _restore_shared_region(sys: Sys, process, region: RegionImage):
@@ -445,8 +726,10 @@ def _restore_shared_region(sys: Sys, process, region: RegionImage):
     rid = yield from sys.mmap(
         region.size, region.profile, shared=True, path=region.path, kind="shm"
     )
+    restored = process.address_space.find(rid)
     if region.region_id is not None:
-        process.address_space.find(rid).region_id = region.region_id
+        restored.region_id = region.region_id
+    return restored
 
 
 def adopt_threads(world, process, image: CheckpointImage) -> list:

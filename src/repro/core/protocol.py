@@ -63,8 +63,19 @@ MSG_BARRIER_COUNT = "barrier-count"  # gateway/relay -> parent: {name, n}
 MSG_MEMBER_GONE = "member-gone"  # gateway -> root: {host, vpid, arrived, goodbye}
 MSG_SUBTREE_GONE = "subtree-gone"  # gateway -> root: {members: [[host, vpid]..]}
 
+# content-addressed store (repro.store): manifest/lease exchange rides
+# a writer's own coordinator connection during barrier 5.
+MSG_STORE_MANIFEST = "store-manifest"  # writer -> coord: {ckpt_id, host, vpid, refs}
+MSG_STORE_LEASE = "store-lease"  # coord -> writer: {need: [[index, target], ...]}
+MSG_STORE_COMMIT = "store-commit"  # writer -> coord: {host, digests}
+MSG_STORE_OK = "store-ok"
+
 #: Modeled size of a control frame on the wire, bytes.
 CTL_FRAME_BYTES = 128
+
+#: Modeled wire/manifest size of one chunk reference (digest + length +
+#: profile tag); manifest image files cost this per chunk.
+STORE_REF_BYTES = 48
 
 
 def msg(kind: str, **fields) -> dict:

@@ -11,6 +11,7 @@ so a persistently failing cluster does not busy-loop.
 
 from __future__ import annotations
 
+from types import SimpleNamespace
 from typing import TYPE_CHECKING, Optional
 
 from repro.kernel.world import HIJACK_ENV
@@ -19,6 +20,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.coordinator import CheckpointOutcome, CoordinatorState
     from repro.core.launch import DmtcpComputation
     from repro.kernel.world import World
+
+
+class LineageSkipped(Exception):
+    """A checkpoint's images were dropped by the supervisor's selection
+    filter -- work after that checkpoint is lost.  Recorded in the
+    world's :class:`FailureLog` so the loss is queryable instead of
+    silent (ROADMAP: "a lost node orphans a whole delta lineage")."""
 
 
 def _image_file(world: "World", host: str, path: str):
@@ -50,6 +58,13 @@ def _image_valid(world: "World", host: str, path: str) -> bool:
         if manifest is not None and manifest.payload is not None:
             if manifest.payload.get("checksum") != image_checksum(file.payload):
                 return False
+        store = world.store
+        if store is not None and getattr(file.payload, "store_refs", None):
+            # manifest image: every chunk must have a live durable replica
+            # (anti-entropy repair works to make this true again after a
+            # node loss, so a briefly-degraded lineage is not orphaned)
+            if not store.image_restorable(file.payload):
+                return False
         path = getattr(file.payload, "parent_image", None)
     return True
 
@@ -65,14 +80,70 @@ def find_newest_valid_plan(
     for outcome in reversed(state.history):
         plan = outcome.plan
         if plan.total_processes < expected:
+            # partial checkpoints are expected mid-fault (quorum shrank);
+            # skipping one drops no completed work, so it is not logged
             continue
-        if all(
-            _image_valid(world, host, path)
+        bad = [
+            (host, path)
             for host, paths in plan.images_by_host.items()
             for path in paths
-        ):
+            if not _image_valid(world, host, path)
+        ]
+        if not bad:
             return outcome
+        _log_lineage_skip(world, state, outcome, bad)
     return None
+
+
+def _program_from_image_path(path: str) -> Optional[str]:
+    """Parse the program name out of ``.../ckpt_<program>_<host>-....dmtcp``."""
+    base = path.rsplit("/", 1)[-1]
+    if not base.startswith("ckpt_"):
+        return None
+    name = base[len("ckpt_"):]
+    cut = name.rfind("_")
+    return name[:cut] if cut > 0 else name
+
+
+def _log_lineage_skip(
+    world: "World", state: "CoordinatorState", outcome, bad: list
+) -> None:
+    """Make a dropped lineage loud: one queryable FailureLog entry per
+    unrestorable image of the newest-skipped checkpoint, plus the
+    ``store.lineage_skipped`` tracer counter (and the store's own stat).
+
+    Deduplicated by ckpt_id: the supervisor polls every second, and an
+    unrestorable checkpoint would otherwise re-log on every tick.
+    """
+    if outcome.ckpt_id in state.lineage_skips_logged:
+        return
+    state.lineage_skips_logged.add(outcome.ckpt_id)
+    skipped = len(bad)
+    if world.tracer.enabled:
+        world.tracer.count("store.lineage_skipped", skipped)
+    if world.store is not None:
+        world.store.stats["lineage_skipped"] += skipped
+    for host, path in bad:
+        # Shim task so FailureLog.by_program/by_host can query the entry
+        # like any task failure: context.process carries program + node.
+        try:
+            node = world.machine.node(host)
+        except Exception:
+            node = SimpleNamespace(hostname=host)
+        task = SimpleNamespace(
+            name=f"lineage-skip[{outcome.ckpt_id}]",
+            context=SimpleNamespace(
+                process=SimpleNamespace(
+                    program=_program_from_image_path(path), node=node
+                )
+            ),
+        )
+        exc = LineageSkipped(
+            f"checkpoint {outcome.ckpt_id}: image {path} on {host} is not "
+            "restorable; newest usable checkpoint is older -- work since "
+            "this checkpoint is lost"
+        )
+        world.scheduler.failures.append((task, exc))
 
 
 class AutoRestartSupervisor:
@@ -122,10 +193,19 @@ class AutoRestartSupervisor:
             return
         self._stopped = False
         self.world.engine.call_after(self.poll_s, self._tick)
+        # the store's anti-entropy loop shares the supervisor's lifetime:
+        # both exist to heal the computation after node loss, and the
+        # repair timer must be stopped for engine.run() to drain
+        store = self.world.store
+        if store is not None:
+            store.start_repair()
 
     def stop(self) -> None:
         """Stop after the current poll; pending restarts keep running."""
         self._stopped = True
+        store = self.world.store
+        if store is not None:
+            store.stop_repair()
 
     def _record(self, event: str, **detail) -> None:
         self.events.append(

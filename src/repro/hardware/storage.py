@@ -80,8 +80,9 @@ class PageCachedDisk:
         self._disk_reads = BandwidthResource(
             engine, spec.disk_bps, name=f"{name}:disk-read"
         )
-        #: Total bytes accepted; test hook.
+        #: Total bytes accepted / served; test hooks.
         self.bytes_written = 0.0
+        self.bytes_read = 0.0
 
     # ------------------------------------------------------------------
     def write(self, nbytes: float) -> Future:
@@ -107,6 +108,7 @@ class PageCachedDisk:
 
     def read(self, nbytes: float, cached: bool = False) -> Future:
         """Read ``nbytes`` from the cache (hot) or the platter (cold)."""
+        self.bytes_read += nbytes
         res = self._cached_reads if cached else self._disk_reads
         return res.submit(nbytes)
 
@@ -248,8 +250,9 @@ class SanDevice:
         self._backend = BandwidthResource(engine, spec.backend_bps, name=f"{name}:raid")
         self._fc_cap = spec.fc_bandwidth_bps / max(spec.san_clients, 1)
         self._nfs_cap = net.bandwidth_bps * spec.nfs_overhead
-        #: Test hook.
+        #: Test hooks.
         self.bytes_written = 0.0
+        self.bytes_read = 0.0
 
     def write(self, nbytes: float, path: str) -> Future:
         """Write through the FC switch or an NFS mount."""
@@ -263,5 +266,6 @@ class SanDevice:
         """Reads share the same backend and path caps as writes."""
         if path not in ("fc", "nfs"):
             raise SimulationError(f"unknown SAN path {path!r}")
+        self.bytes_read += nbytes
         cap = self._fc_cap if path == "fc" else self._nfs_cap
         return self._backend.submit(nbytes, cap=cap)

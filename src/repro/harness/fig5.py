@@ -38,12 +38,16 @@ def run_fig5_point(
     procs_per_node: int = 4,
     warmup_s: float = 8.0,
     tree_fanout: int | None = None,
+    store: bool = False,
+    store_replicas: int | None = None,
 ) -> Fig5Point:
     """One x-axis point of Figure 5a (local) or 5b (SAN/NFS).
 
     ``tree_fanout`` routes coordination through the hierarchical gateway
     tree (repro.coord.tree) instead of the paper's flat star -- the
     opt-in 4k/16k/32k extension points beyond the paper's axis.
+    ``store`` swaps monolithic image files for the content-addressed
+    chunk store (DESIGN.md §12).
     """
     n_nodes = max(compute_processes // procs_per_node, 1)
     world = build_world(n_nodes, seed, with_san=(storage == "san"))
@@ -55,6 +59,8 @@ def run_fig5_point(
         compression=True,
         ckpt_dir="/san/dmtcp" if storage == "san" else "/tmp/dmtcp",
         tree_fanout=tree_fanout,
+        store=store,
+        store_replicas=store_replicas,
     )
     comp.launch(
         "node00",

@@ -136,6 +136,19 @@ class MemoryRegion:
         self.shared = shared
         #: Fraction of pages written since the last checkpoint [0, 1].
         self.dirty_fraction = 1.0  # everything is dirty at creation
+        #: Content identity for the chunk store (repro.store).  Private
+        #: default keys on region_id; AddressSpace.map_region replaces it
+        #: with a program-derived key so identical allocations across
+        #: ranks share chunk digests.
+        self.content_key = f"r{self.region_id}"
+        #: chunk index -> write generation (store mode; see store.chunking).
+        self.chunk_gens: dict[int, int] = {}
+        #: True once the application actually wrote here (creation
+        #: dirtiness alone must not fork a region's content lineage).
+        self.written = False
+        #: Last ckpt_id whose store pass bumped this region's generations
+        #: (guards shared regions against one bump per attached process).
+        self.gen_marker = -1
 
     @property
     def end(self) -> int:
@@ -145,6 +158,7 @@ class MemoryRegion:
     def touch(self, fraction: float) -> None:
         """Mark ``fraction`` of this region's pages written."""
         self.dirty_fraction = min(1.0, self.dirty_fraction + fraction)
+        self.written = True
 
     def clean(self) -> None:
         """Reset dirty tracking (called after an incremental checkpoint)."""
@@ -158,6 +172,10 @@ class MemoryRegion:
             self.start, self.size, self.kind, self.profile, self.perms, self.path, False
         )
         dup.dirty_fraction = self.dirty_fraction
+        dup.content_key = self.content_key
+        dup.chunk_gens = dict(self.chunk_gens)
+        dup.written = self.written
+        dup.gen_marker = self.gen_marker
         return dup
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -178,6 +196,13 @@ class AddressSpace:
         self.regions: list[MemoryRegion] = []
         self._next_addr = self.MMAP_BASE
         self._heap: Optional[MemoryRegion] = None
+        #: Program-derived tag for content identity (set when a spec is
+        #: instantiated).  While set, mapped regions get content keys of
+        #: ``tag:ordinal:kind:profile:size`` -- identical programs make
+        #: identical allocation sequences, so rank N and rank M of the
+        #: same binary share keys.  None -> private per-region keys.
+        self.content_tag: Optional[str] = None
+        self._content_seq = 0
 
     # ------------------------------------------------------------------
     @property
@@ -199,6 +224,11 @@ class AddressSpace:
         size = self._round_up(size)
         start = at if at is not None else self._alloc(size)
         region = MemoryRegion(start, size, kind, profile, perms, path, shared)
+        if self.content_tag is not None:
+            region.content_key = (
+                f"{self.content_tag}:{self._content_seq}:{kind}:{profile.name}:{size}"
+            )
+        self._content_seq += 1
         self.regions.append(region)
         return region
 
@@ -235,6 +265,8 @@ class AddressSpace:
         dup = AddressSpace(self.page_bytes)
         dup._next_addr = self._next_addr
         dup.regions = [r.clone() for r in self.regions]
+        # The child's future allocations are its own content lineage.
+        dup._content_seq = self._content_seq
         return dup
 
     # ------------------------------------------------------------------

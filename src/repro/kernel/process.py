@@ -198,6 +198,10 @@ class Process:
     def build_image_from_spec(self, spec: ProgramSpec) -> None:
         """Lay out the initial address space at exec time."""
         self.address_space = AddressSpace(self.world.spec.os.page_bytes)
+        # Program name keys content identity: every rank of the same
+        # binary lays out the same regions, so the chunk store dedups
+        # their unwritten pages across the whole computation.
+        self.address_space.content_tag = self.program or spec.name
         for region_spec in spec.regions:
             profile = region_spec.resolve_profile()
             for i in range(region_spec.count):

@@ -314,6 +314,9 @@ class World:
         #: through the fabric.
         self.shard = None
         self.fabric = None
+        #: Content-addressed checkpoint chunk store (repro.store); set by
+        #: DmtcpComputation(store=True), None on the monolithic path.
+        self.store = None
         #: Syscall-name -> bound handler cache (avoids a per-dispatch
         #: f-string + getattr on the hot path).
         self._sys_handlers: dict[str, Callable] = {}
@@ -558,6 +561,8 @@ class World:
         a reboot or from a relocated restart)."""
         ns = self.node_state(hostname)
         ns.down = True
+        if self.store is not None:
+            self.store.drop_cache(hostname)  # page cache is volatile
         for process in list(ns.processes.values()):
             self.crash_process(process)
 

@@ -1,0 +1,22 @@
+"""Content-addressed distributed checkpoint image store (DESIGN.md §12)."""
+
+from repro.store.cas import ChunkMeta, ChunkStore
+from repro.store.chunking import (
+    ChunkRef,
+    advance_generations,
+    chunk_digest,
+    chunk_layout,
+    dirty_chunk_count,
+    region_chunks,
+)
+
+__all__ = [
+    "ChunkMeta",
+    "ChunkStore",
+    "ChunkRef",
+    "advance_generations",
+    "chunk_digest",
+    "chunk_layout",
+    "dirty_chunk_count",
+    "region_chunks",
+]

@@ -1,0 +1,438 @@
+"""Distributed content-addressed chunk store over the simulated cluster.
+
+One :class:`ChunkStore` instance serves a whole world.  The coordinator
+owns the metadata plane (lease/commit exchanges ride the existing control
+connection, see ``core/coordinator.py``); the data plane is modeled
+directly against node disks and NICs, in the node/anti-entropy shape of
+nimbus.io:
+
+* **Placement** is pure rendezvous hashing: each chunk digest scores every
+  hostname and the top-k rack-diverse hosts hold its replicas.  Placement
+  depends only on the digest and the machine file, so readers, writers,
+  and the repair loop all derive it independently, and chunk primaries
+  spread uniformly across the cluster -- losing one node degrades ~1/n of
+  the chunks instead of one writer's whole image.
+* **Write path**: at barrier 5 each writer sends its manifest to the
+  coordinator, which leases the chunks nobody has stored yet.  Only
+  leased chunks are compressed and pushed (to their rendezvous-primary
+  host), so checkpoint cost is proportional to *unique* bytes.
+* **Anti-entropy repair**: a background loop re-replicates chunks whose
+  live replica count dropped below k (node crashes are detected lazily --
+  replicas on a down node don't count as live, but the bytes survive the
+  reboot, matching the non-volatile-disk model in ``World.crash_node``).
+* **Streaming restart**: readers fetch every chunk concurrently from the
+  nearest live replica (self, then same rack, then rendezvous order), so
+  a degraded replica set restores at nearly healthy speed instead of
+  orphaning the lineage.
+
+All state transitions happen at event-loop callbacks of deterministic
+futures, so store-enabled runs stay reproducible byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterable, Optional
+
+from repro.errors import SyscallError
+from repro.sim.tasks import Future
+
+
+class ChunkMeta:
+    """Metadata-plane record for one content-addressed chunk."""
+
+    __slots__ = (
+        "nbytes",
+        "stored_bytes",
+        "profile",
+        "placed",
+        "present",
+        "durable",
+        "lease_owner",
+        "lease_ckpt",
+        "pending_target",
+        "stored_at",
+        "inflight",
+    )
+
+    def __init__(self, nbytes: int, profile: str, placed: tuple):
+        #: Logical (uncompressed) payload bytes.
+        self.nbytes = nbytes
+        #: Compressed bytes actually stored (set at lease time).
+        self.stored_bytes = float(nbytes)
+        self.profile = profile
+        #: Rendezvous placement, primary first (never changes).
+        self.placed = placed
+        #: Hosts currently holding a replica.
+        self.present: set = set()
+        #: True once a writer committed the payload somewhere.
+        self.durable = False
+        #: (host, vpid) of the writer holding the current lease.
+        self.lease_owner: Optional[tuple] = None
+        self.lease_ckpt: Optional[int] = None
+        #: Host the leased payload is being pushed to.
+        self.pending_target: Optional[str] = None
+        #: Virtual time of the last replica write (page-cache hotness).
+        self.stored_at: float = -1e18
+        #: Replication copies in progress, by destination host.
+        self.inflight: set = set()
+
+
+class ChunkStore:
+    """Cluster-wide content-addressed checkpoint chunk store."""
+
+    def __init__(
+        self,
+        world,
+        replicas: Optional[int] = None,
+        rack_size: Optional[int] = None,
+        repair_interval_s: Optional[float] = None,
+        chunk_bytes: Optional[int] = None,
+    ):
+        spec = world.spec.dmtcp
+        self.world = world
+        self.replicas = int(replicas if replicas is not None else spec.store_replicas)
+        if self.replicas < 1:
+            raise ValueError(f"store replicas must be >= 1, got {self.replicas}")
+        self.rack_size = int(rack_size if rack_size is not None else spec.store_rack_size)
+        self.repair_interval_s = float(
+            repair_interval_s if repair_interval_s is not None else spec.store_repair_interval_s
+        )
+        self.chunk_bytes = int(chunk_bytes if chunk_bytes is not None else spec.store_chunk_bytes)
+        self.chunks: dict[str, ChunkMeta] = {}
+        #: Per-host ``{digest: warm-at time}``: bytes resident in that
+        #: host's page cache (recently written or fetched there).  Warmth
+        #: expires after the disk's ``cache_retention_s`` and the whole
+        #: map is dropped when the node crashes (RAM is volatile; the
+        #: disk replicas in ``ChunkMeta.present`` survive).
+        self.host_cache: dict[str, dict[str, float]] = {}
+        self.stats: dict[str, float] = {
+            "logical_bytes": 0.0,
+            "unique_bytes": 0.0,
+            "stored_payload_bytes": 0.0,
+            "chunks_stored": 0,
+            "dedup_hits": 0,
+            "dedup_bytes": 0.0,
+            "replications": 0,
+            "repairs": 0,
+            "degraded_reads": 0,
+            "cache_hit_fetches": 0,
+            "lineage_skipped": 0,
+        }
+        self._repair_on = False
+        self._repair_event = None
+
+    # ------------------------------------------------------------------
+    # Placement (pure rendezvous, rack-diverse)
+    # ------------------------------------------------------------------
+    def rack_of(self, hostname: str) -> int:
+        return self.world.machine.node(hostname).node_id // max(self.rack_size, 1)
+
+    def _scored_hosts(self, digest: str) -> list[str]:
+        """All hostnames in rendezvous order for ``digest`` (best first)."""
+        score = hashlib.blake2b
+        return sorted(
+            self.world.machine.hostnames,
+            key=lambda h: score(f"{digest}|{h}".encode(), digest_size=8).hexdigest(),
+            reverse=True,
+        )
+
+    def placement(self, digest: str) -> tuple:
+        """The k replica hosts for ``digest``: greedy rack-diverse pick
+        over the rendezvous order, padded from score order if the cluster
+        has fewer racks than replicas."""
+        order = self._scored_hosts(digest)
+        k = min(self.replicas, len(order))
+        placed: list[str] = []
+        racks: set = set()
+        for host in order:
+            rack = self.rack_of(host)
+            if rack in racks:
+                continue
+            placed.append(host)
+            racks.add(rack)
+            if len(placed) == k:
+                return tuple(placed)
+        for host in order:
+            if host not in placed:
+                placed.append(host)
+                if len(placed) == k:
+                    break
+        return tuple(placed)
+
+    # ------------------------------------------------------------------
+    # Liveness helpers
+    # ------------------------------------------------------------------
+    def _up(self, hostname: str) -> bool:
+        return not self.world.node_state(hostname).down
+
+    def _live_replicas(self, meta: ChunkMeta) -> list[str]:
+        return [h for h in meta.placed if h in meta.present and self._up(h)] + [
+            h for h in sorted(meta.present) if h not in meta.placed and self._up(h)
+        ]
+
+    def _cached_on(self, meta: ChunkMeta, digest: str, host: str) -> bool:
+        warm_at = self.host_cache.get(host, {}).get(digest)
+        if warm_at is None:
+            return False
+        retention = self.world.machine.node(host).spec.disk.cache_retention_s
+        return self.world.engine.now - warm_at <= retention
+
+    def _note_cached(self, digest: str, host: str) -> None:
+        self.host_cache.setdefault(host, {})[digest] = self.world.engine.now
+
+    def drop_cache(self, hostname: str) -> None:
+        """Forget page-cache residency for a crashed host (RAM is gone;
+        the durable replicas in ``ChunkMeta.present`` survive reboot)."""
+        self.host_cache.pop(hostname, None)
+
+    # ------------------------------------------------------------------
+    # Metadata plane (called by the coordinator)
+    # ------------------------------------------------------------------
+    def lease(self, refs: Iterable, owner: tuple, ckpt_id: int) -> list:
+        """Grant write leases for the chunks of one manifest.
+
+        ``refs`` rows are ``[digest, nbytes, profile, stored_estimate]``.
+        Returns ``[[index, target_host], ...]`` for the rows this writer
+        must actually compress and push; everything else deduped.
+        """
+        need = []
+        for index, (digest, nbytes, profile, stored_est) in enumerate(refs):
+            self.stats["logical_bytes"] += nbytes
+            meta = self.chunks.get(digest)
+            if meta is not None and (meta.durable or meta.lease_ckpt == ckpt_id):
+                # Already stored, or another rank of this same checkpoint
+                # generation holds the lease: pure dedup hit.
+                self.stats["dedup_hits"] += 1
+                self.stats["dedup_bytes"] += nbytes
+                continue
+            if meta is None:
+                meta = ChunkMeta(nbytes, profile, self.placement(digest))
+                self.chunks[digest] = meta
+            meta.stored_bytes = float(stored_est)
+            meta.lease_owner = owner
+            meta.lease_ckpt = ckpt_id
+            target = next((h for h in meta.placed if self._up(h)), owner[0])
+            meta.pending_target = target
+            need.append([index, target])
+        return need
+
+    def commit(self, digests: Iterable[str], writer_host: str) -> int:
+        """Mark leased chunks durable after the writer pushed their bytes."""
+        committed = 0
+        for digest in digests:
+            meta = self.chunks.get(digest)
+            if meta is None or meta.durable:
+                continue
+            meta.durable = True
+            meta.lease_owner = None
+            target = meta.pending_target or writer_host
+            meta.pending_target = None
+            meta.present.add(target)
+            meta.stored_at = self.world.engine.now
+            self._note_cached(digest, writer_host)
+            if target != writer_host:
+                self._note_cached(digest, target)
+            self.stats["unique_bytes"] += meta.nbytes
+            self.stats["stored_payload_bytes"] += meta.stored_bytes
+            self.stats["chunks_stored"] += 1
+            committed += 1
+            self._ensure_replicated(digest)
+        return committed
+
+    # ------------------------------------------------------------------
+    # Replication and anti-entropy repair
+    # ------------------------------------------------------------------
+    def _ensure_replicated(self, digest: str) -> int:
+        """Start background copies until live+inflight replicas reach k."""
+        meta = self.chunks[digest]
+        live = [h for h in self._live_replicas(meta)]
+        if not live:
+            return 0  # nothing to copy from; a reboot may resurrect bytes
+        goal = min(self.replicas, len(self.world.machine.hostnames))
+        have = set(live) | {h for h in meta.inflight if self._up(h)}
+        started = 0
+        src = live[0]
+        for dst in meta.placed:
+            if len(have) >= goal:
+                break
+            if dst in have or not self._up(dst):
+                continue
+            self._start_copy(digest, meta, src, dst)
+            have.add(dst)
+            started += 1
+        if len(have) < goal:
+            # placed set partially down: spill to rendezvous order
+            for dst in self._scored_hosts(digest):
+                if len(have) >= goal:
+                    break
+                if dst in have or not self._up(dst):
+                    continue
+                self._start_copy(digest, meta, src, dst)
+                have.add(dst)
+                started += 1
+        return started
+
+    def _start_copy(self, digest: str, meta: ChunkMeta, src_host: str, dst_host: str) -> None:
+        """Replicate one chunk src -> dst: disk read, network hop, disk write."""
+        machine = self.world.machine
+        src = machine.node(src_host)
+        dst = machine.node(dst_host)
+        nbytes = meta.stored_bytes
+        meta.inflight.add(dst_host)
+
+        def finish() -> None:
+            meta.inflight.discard(dst_host)
+            if self._up(dst_host):
+                meta.present.add(dst_host)
+                meta.stored_at = self.world.engine.now
+                self._note_cached(digest, dst_host)
+                self.stats["replications"] += 1
+
+        def landed() -> None:
+            dst.disk.write(nbytes).add_done(finish)
+
+        def arrived() -> None:
+            if src_host == dst_host:  # defensive; placement never does this
+                landed()
+                return
+            src.nic_tx.submit(nbytes)
+            rx = dst.nic_rx.submit(nbytes)
+            rx.add_done(landed)
+
+        read = src.disk.read(nbytes, cached=self._cached_on(meta, digest, src_host))
+        read.add_done(arrived)
+
+    def repair_round(self) -> int:
+        """One anti-entropy sweep; returns the number of copies started."""
+        started = 0
+        for digest, meta in self.chunks.items():
+            if not meta.durable:
+                continue
+            dead_inflight = {h for h in meta.inflight if not self._up(h)}
+            meta.inflight -= dead_inflight
+            meta.present = {h for h in meta.present if self._up(h) or h in meta.placed}
+            n = self._ensure_replicated(digest)
+            started += n
+        if started:
+            self.stats["repairs"] += started
+        return started
+
+    def start_repair(self) -> None:
+        """Run the anti-entropy loop until :meth:`stop_repair`."""
+        if self._repair_on:
+            return
+        self._repair_on = True
+        self._schedule_repair()
+
+    def stop_repair(self) -> None:
+        self._repair_on = False
+        if self._repair_event is not None:
+            self._repair_event.cancel()
+            self._repair_event = None
+
+    def _schedule_repair(self) -> None:
+        self._repair_event = self.world.engine.call_after(
+            self.repair_interval_s, self._repair_tick
+        )
+
+    def _repair_tick(self) -> None:
+        self._repair_event = None
+        if not self._repair_on:
+            return
+        self.repair_round()
+        if self._repair_on:
+            self._schedule_repair()
+
+    # ------------------------------------------------------------------
+    # Data plane: streaming restart reads
+    # ------------------------------------------------------------------
+    def fetch(self, reader_host: str, refs: Iterable) -> tuple[list[Future], dict]:
+        """Start concurrent reads of every chunk from its nearest live
+        replica; returns (futures, info).  Raises ``SyscallError(EIO)``
+        if any chunk has no live replica at all.
+        """
+        machine = self.world.machine
+        reader = machine.node(reader_host)
+        reader_rack = self.rack_of(reader_host)
+        #: (src_host, cached) -> total stored bytes, for grouped submits.
+        groups: dict[tuple[str, bool], float] = {}
+        info = {"local_bytes": 0.0, "remote_bytes": 0.0, "cache_fetches": 0, "degraded": 0}
+        for ref in refs:
+            digest = ref[0]
+            meta = self.chunks.get(digest)
+            if meta is None or not meta.durable:
+                raise SyscallError("EIO", f"store chunk {digest} missing")
+            if self._cached_on(meta, digest, reader_host):
+                info["cache_fetches"] += 1
+                self.stats["cache_hit_fetches"] += 1
+                continue  # resident from a prior fetch/write on this host
+            live = self._live_replicas(meta)
+            if not live:
+                raise SyscallError("EIO", f"store chunk {digest} has no live replica")
+            if len(live) < min(self.replicas, len(machine.hostnames)):
+                info["degraded"] += 1
+                self.stats["degraded_reads"] += 1
+            if reader_host in live:
+                src = reader_host
+            else:
+                src = next((h for h in live if self.rack_of(h) == reader_rack), live[0])
+            cached = self._cached_on(meta, digest, src)
+            groups[(src, cached)] = groups.get((src, cached), 0.0) + meta.stored_bytes
+            if src == reader_host:
+                info["local_bytes"] += meta.stored_bytes
+            else:
+                info["remote_bytes"] += meta.stored_bytes
+            self._note_cached(digest, reader_host)
+        futures: list[Future] = []
+        for (src_host, cached), nbytes in groups.items():
+            if src_host == reader_host:
+                futures.append(reader.disk.read(nbytes, cached=cached))
+            else:
+                src = machine.node(src_host)
+                futures.append(src.disk.read(nbytes, cached=cached))
+                src.nic_tx.submit(nbytes)
+                futures.append(reader.nic_rx.submit(nbytes))
+        return futures, info
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def image_restorable(self, image) -> bool:
+        """True when every chunk of ``image`` has a live durable replica."""
+        refs = getattr(image, "store_refs", None)
+        refs = refs() if callable(refs) else refs
+        if not refs:
+            return True
+        for ref in refs:
+            meta = self.chunks.get(ref[0])
+            if meta is None or not meta.durable:
+                return False
+            if not any(self._up(h) for h in meta.present):
+                return False
+        return True
+
+    def replica_count(self, digest: str) -> int:
+        meta = self.chunks.get(digest)
+        return len(self._live_replicas(meta)) if meta is not None else 0
+
+    def summary(self) -> dict[str, Any]:
+        """Bench/report rollup of the store's lifetime statistics."""
+        s = self.stats
+        unique = s["unique_bytes"]
+        return {
+            "chunk_bytes": self.chunk_bytes,
+            "replicas": self.replicas,
+            "logical_bytes": s["logical_bytes"],
+            "unique_bytes": unique,
+            "stored_payload_bytes": s["stored_payload_bytes"],
+            "dedup_ratio": (s["logical_bytes"] / unique) if unique else 0.0,
+            "dedup_hits": s["dedup_hits"],
+            "dedup_bytes": s["dedup_bytes"],
+            "chunks_stored": s["chunks_stored"],
+            "replications": s["replications"],
+            "repairs": s["repairs"],
+            "degraded_reads": s["degraded_reads"],
+            "cache_hit_fetches": s["cache_hit_fetches"],
+            "lineage_skipped": s["lineage_skipped"],
+        }
