@@ -6,6 +6,7 @@
     python -m repro trace <scenario>      # emit a Chrome trace (see --help)
     python -m repro profile <scenario>    # host-side cProfile rollup (see --help)
     python -m repro chaos <scenario>      # fault injection + self-healing (see --help)
+    python -m repro service --tenants N   # multi-tenant checkpoint service (see --help)
 """
 
 from __future__ import annotations
@@ -222,6 +223,69 @@ def _chaos(argv: list[str]) -> int:
     return 0 if healthy else 1
 
 
+def _service(argv: list[str]) -> int:
+    """`python -m repro service [--tenants N] [--seed N] [--quick] [--out PATH]`.
+
+    Runs the multi-tenant checkpoint service: N tenants behind one
+    coordinator hub, synchronized checkpoint storms, seeded spot
+    evictions, and the batched-vs-per-message dispatcher comparison.
+    The report is purely virtual-time, so the same arguments write a
+    byte-identical JSON file (the CI service-smoke job diffs two runs).
+    """
+    import argparse
+    import json
+
+    from repro.harness.service import run_service_comparison
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro service",
+        description="Run N checkpointing tenants on one shared cluster.",
+    )
+    parser.add_argument("--tenants", type=int, default=16, help="tenant count")
+    parser.add_argument("--ranks", type=int, default=8, help="ranks per tenant")
+    parser.add_argument("--seed", type=int, default=0, help="arrival/eviction seed")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="shorter run (fewer storms, one eviction wave)",
+    )
+    parser.add_argument("--out", default=None, help="report output path (JSON)")
+    args = parser.parse_args(argv)
+
+    duration = 3.0 if args.quick else 6.0
+    evictions = 1 if args.quick else 2
+    report = run_service_comparison(
+        tenants=args.tenants, ranks=args.ranks, seed=args.seed,
+        duration_s=duration, evictions=evictions,
+    )
+    out = args.out or "service_report.json"
+    Path(out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    b, p = report["batched"], report["per_message"]
+    print(f"service: {args.tenants} tenants x {args.ranks} ranks "
+          f"(seed {args.seed}) -> {out}")
+    print(f"  batched     p50 {b['ckpt_latency_p50_s'] * 1e3:7.2f} ms  "
+          f"p99 {b['ckpt_latency_p99_s'] * 1e3:7.2f} ms  "
+          f"({b['checkpoints']} checkpoints, mean batch "
+          f"{b['hub']['mean_batch']:g} msgs)")
+    print(f"  per-message p50 {p['ckpt_latency_p50_s'] * 1e3:7.2f} ms  "
+          f"p99 {p['ckpt_latency_p99_s'] * 1e3:7.2f} ms")
+    print(f"  p99 speedup from batching: {report['p99_ratio']:g}x")
+    for mode, m in (("batched", b), ("per-message", p)):
+        print(f"  [{mode}] evictions recovered {m['eviction_recoveries']}, "
+              f"lost work max {m['lost_work_max_s']:g}s "
+              f"(bound {m['lost_work_bound_s']:g}s, "
+              f"{m['lost_work_violations']} violations), "
+              f"preemptions {m['priority_preemptions']}, "
+              f"migrations {m['defrag_migrations']}")
+    healthy = all(
+        m["cross_tenant_failures"] == 0 and m["lost_work_violations"] == 0
+        for m in (b, p)
+    )
+    print("  verdict:", "ISOLATED, all tenants recovered" if healthy
+          else "ISOLATION VIOLATED")
+    return 0 if healthy else 1
+
+
 def main(argv: list[str]) -> int:
     """Dispatch `python -m repro <command>`."""
     if not argv or argv[0] in ("-h", "--help", "list"):
@@ -239,6 +303,8 @@ def main(argv: list[str]) -> int:
         return _profile(argv[1:])
     if cmd == "chaos":
         return _chaos(argv[1:])
+    if cmd == "service":
+        return _service(argv[1:])
     if cmd in _EXAMPLES:
         runpy.run_path(str(_examples_dir() / f"{cmd}.py"), run_name="__main__")
         return 0

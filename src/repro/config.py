@@ -190,6 +190,23 @@ class DmtcpSpec:
     #: Anti-entropy repair sweep period (re-replicates under-replicated
     #: chunks after node loss; runs while an AutoRestartSupervisor does).
     store_repair_interval_s: float = 2.0
+    # -- multi-tenant checkpoint service (repro.service; enabled via
+    # TenantRegistry/CoordinatorHub, inert otherwise) --------------------
+    #: Batched coordinator protocol: flush window of the hub dispatcher.
+    #: Messages landing within one window are drained as a single batch
+    #: (the gateway MSG_BARRIER_COUNT coalescing shape, applied at the
+    #: coordinator itself).
+    service_tick_s: float = 1e-4
+    #: Fixed dispatch cost per batch (wakeup + queue scan + reply plan).
+    coord_batch_overhead_s: float = 20e-6
+    #: Marginal per-message cost inside a batch; amortizing the dispatch
+    #: machinery across the batch is what beats ``coord_msg_s`` per-message
+    #: handling under interleaved multi-tenant traffic.
+    coord_batch_msg_s: float = 0.5e-6
+    #: ClusterScheduler host-side tick (arrivals, placement, evictions).
+    service_poll_s: float = 0.25
+    #: How long a spot-evicted node stays down before rebooting.
+    service_spot_downtime_s: float = 30.0
 
 
 @dataclass(frozen=True)

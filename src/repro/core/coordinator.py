@@ -157,6 +157,17 @@ class CoordinatorState:
     #: ckpt_ids whose lineage skip was already logged (supervisor-side
     #: dedup so a polling loop cannot inflate the counters).
     lineage_skips_logged: set = field(default_factory=set)
+    #: multi-tenant service mode (repro.service): which tenant this state
+    #: belongs to.  Empty for plain single-tenant computations, so spans,
+    #: counters, and barrier tracks are byte-identical to pre-service runs.
+    tenant: str = ""
+
+    def barrier_track(self, name: str) -> str:
+        """Tracer track for one barrier; tenant-qualified in service mode
+        so concurrent tenants' spans never share (and corrupt) a stack."""
+        if self.tenant:
+            return f"coordinator[{self.tenant}]/barrier:{name}"
+        return f"coordinator/barrier:{name}"
 
     @property
     def member_count(self) -> int:
@@ -264,12 +275,13 @@ def _abort_checkpoint(sys: Sys, state: CoordinatorState, reason: str):
     state.last_abort_reason = reason
     tracer = state.tracer
     if tracer is not None:
-        tracer.count("coord.ckpt_aborts")
+        tracer.count("coord.ckpt_aborts", tenant=state.tenant or None)
         for name in list(state.barrier_open):
             state.barrier_open.pop(name)
             state.barrier_last_arrival.pop(name, None)
             tracer.end(
-                f"coordinator/barrier:{name}", name, cat="barrier", aborted=True
+                state.barrier_track(name), name, cat="barrier",
+                tenant=state.tenant or None, aborted=True,
             )
     state.barrier_arrivals = {}
     state.barrier_counts = {}
@@ -297,12 +309,13 @@ def _abort_restart(sys: Sys, state: CoordinatorState, reason: str):
     state.last_abort_reason = reason
     tracer = state.tracer
     if tracer is not None:
-        tracer.count("coord.restart_aborts")
+        tracer.count("coord.restart_aborts", tenant=state.tenant or None)
         for name in list(state.barrier_open):
             state.barrier_open.pop(name)
             state.barrier_last_arrival.pop(name, None)
             tracer.end(
-                f"coordinator/barrier:{name}", name, cat="barrier", aborted=True
+                state.barrier_track(name), name, cat="barrier",
+                tenant=state.tenant or None, aborted=True,
             )
     state.barrier_arrivals = {}
     state.barrier_counts = {}
@@ -323,117 +336,131 @@ def _handle_connection(sys: Sys, state: CoordinatorState, cfd: int):
         if result is None:
             yield from _handle_disconnect(sys, state, cfd)
             return
-        message = result[0]
-        kind = message["kind"]
-        if kind == P.MSG_HELLO:
-            # a hello arriving over a gateway connection is a *forwarded*
-            # member registration: key it by identity, not by fd
-            key = (
-                ("m", message["host"], message["vpid"])
-                if cfd in state.gateway_fds
-                else cfd
-            )
-            state.members[key] = {
-                "host": message["host"],
-                "vpid": message["vpid"],
-                "program": message["program"],
-                "restart": message.get("restart", False),
-                "gen": state.restart_gen,
-                "via": cfd if cfd in state.gateway_fds else None,
-            }
-        elif kind == P.MSG_GW_HELLO:
-            state.gateway_fds.add(cfd)
-        elif kind == P.MSG_MEMBER_GONE:
-            yield from _member_gone(sys, state, message)
-        elif kind == P.MSG_SUBTREE_GONE:
-            yield from _subtree_gone(sys, state, message)
-        elif kind == P.MSG_BARRIER:
-            if _stale_arrival(state, message["name"]):
-                yield from _bounce_stale_arrival(sys, state, cfd)
-            else:
-                yield from _barrier_arrive(sys, state, cfd, message["name"], 1)
-        elif kind == "barrier-count":
-            # a relay forwards the combined arrivals of one node
-            if _stale_arrival(state, message["name"]):
-                yield from _bounce_stale_arrival(sys, state, cfd)
-            else:
-                yield from _barrier_arrive(sys, state, cfd, message["name"], message["n"], relay=True)
-        elif kind == P.MSG_CKPT_DONE:
-            yield from _ckpt_done(sys, state, cfd, message)
-        elif kind == P.MSG_CKPT_FAILED:
-            # a member hit ENOSPC (or aborted locally): the cluster-wide
-            # checkpoint cannot complete -- roll everyone back now
-            yield from _abort_checkpoint(
-                sys, state, message.get("reason", "member checkpoint failure")
-            )
-        elif kind == P.MSG_PING or kind == P.MSG_PONG:
-            pass  # liveness traffic; nothing to do
-        elif kind == P.MSG_COMMAND:
-            yield from _command(sys, state, cfd, message)
-        elif kind == P.MSG_RESTART_HELLO:
-            state.restarter_fds.add(cfd)
-            # a restarter connecting is progress: without this the
-            # watchdog would measure the new restart against the stale
-            # timestamp of the last checkpoint and abort it at birth
-            if state.supervise and state.tracer is not None:
-                state.last_progress = state.tracer.clock()
-            if state.phase != "restart":
-                state.phase = "restart"
-                state.restart_gen += 1
-                state.restart_total = message["total"]
-                state.restart_done = 0
-                state.restart_records = []
-                state.restart_started_at = message.get("t0", 0.0)
-                state.adverts = {}
-                state.done_fds = set()
-            # replay adverts that arrived before this restarter connected
-            for key, (host, port) in state.adverts.items():
-                yield from _send_safe(
-                    sys, state, cfd, P.msg(P.MSG_ADVERTISE_BCAST, key=key, host=host, port=port)
-                )
-        elif kind == P.MSG_ADVERTISE:
-            key = message["key"]
-            state.adverts[key] = (message["host"], message["port"])
-            if state.supervise and state.tracer is not None:
-                state.last_progress = state.tracer.clock()  # reconnects flowing
-            for rfd in list(state.restarter_fds):
-                yield from _send_safe(
-                    sys,
-                    state,
-                    rfd,
-                    P.msg(P.MSG_ADVERTISE_BCAST, key=key, host=message["host"], port=message["port"]),
-                )
-        elif kind == P.MSG_STORE_MANIFEST:
-            # chunk-store metadata plane: lease the not-yet-stored chunks
-            # of this writer's manifest back to it (everything else is a
-            # dedup hit).  Rides a private writer connection at barrier 5.
-            need = state.store.lease(
-                message["refs"],
-                (message["host"], message["vpid"]),
-                message["ckpt_id"],
-            )
-            try:
-                yield from send_frame(
-                    sys,
-                    cfd,
-                    P.msg(P.MSG_STORE_LEASE, need=need),
-                    64 + 8 * max(len(need), 1),
-                )
-            except SyscallError:
-                _drop_connection(state, cfd)
-                return
-        elif kind == P.MSG_STORE_COMMIT:
-            state.store.commit(message["digests"], message["host"])
-            try:
-                yield from send_frame(
-                    sys, cfd, P.msg(P.MSG_STORE_OK), P.CTL_FRAME_BYTES
-                )
-            except SyscallError:
-                _drop_connection(state, cfd)
-                return
-        elif kind == P.MSG_GOODBYE:
-            _drop_connection(state, cfd)
+        keep = yield from _dispatch_message(sys, state, cfd, result[0])
+        if not keep:
             return
+
+
+def _dispatch_message(sys: Sys, state: CoordinatorState, cfd: int, message: dict):
+    """Apply one control message against one computation's state.
+
+    Returns False when the connection is finished (GOODBYE, or a store
+    reply whose peer died), True to keep receiving.  This is the whole
+    per-message protocol; the multi-tenant hub (repro.service) drives the
+    same function from its batched dispatcher, so the two deployments can
+    never diverge.
+    """
+    kind = message["kind"]
+    if kind == P.MSG_HELLO:
+        # a hello arriving over a gateway connection is a *forwarded*
+        # member registration: key it by identity, not by fd
+        key = (
+            ("m", message["host"], message["vpid"])
+            if cfd in state.gateway_fds
+            else cfd
+        )
+        state.members[key] = {
+            "host": message["host"],
+            "vpid": message["vpid"],
+            "program": message["program"],
+            "restart": message.get("restart", False),
+            "gen": state.restart_gen,
+            "via": cfd if cfd in state.gateway_fds else None,
+        }
+    elif kind == P.MSG_GW_HELLO:
+        state.gateway_fds.add(cfd)
+    elif kind == P.MSG_MEMBER_GONE:
+        yield from _member_gone(sys, state, message)
+    elif kind == P.MSG_SUBTREE_GONE:
+        yield from _subtree_gone(sys, state, message)
+    elif kind == P.MSG_BARRIER:
+        if _stale_arrival(state, message["name"]):
+            yield from _bounce_stale_arrival(sys, state, cfd)
+        else:
+            yield from _barrier_arrive(sys, state, cfd, message["name"], 1)
+    elif kind == "barrier-count":
+        # a relay forwards the combined arrivals of one node
+        if _stale_arrival(state, message["name"]):
+            yield from _bounce_stale_arrival(sys, state, cfd)
+        else:
+            yield from _barrier_arrive(sys, state, cfd, message["name"], message["n"], relay=True)
+    elif kind == P.MSG_CKPT_DONE:
+        yield from _ckpt_done(sys, state, cfd, message)
+    elif kind == P.MSG_CKPT_FAILED:
+        # a member hit ENOSPC (or aborted locally): the cluster-wide
+        # checkpoint cannot complete -- roll everyone back now
+        yield from _abort_checkpoint(
+            sys, state, message.get("reason", "member checkpoint failure")
+        )
+    elif kind == P.MSG_PING or kind == P.MSG_PONG:
+        pass  # liveness traffic; nothing to do
+    elif kind == P.MSG_COMMAND:
+        yield from _command(sys, state, cfd, message)
+    elif kind == P.MSG_RESTART_HELLO:
+        state.restarter_fds.add(cfd)
+        # a restarter connecting is progress: without this the
+        # watchdog would measure the new restart against the stale
+        # timestamp of the last checkpoint and abort it at birth
+        if state.supervise and state.tracer is not None:
+            state.last_progress = state.tracer.clock()
+        if state.phase != "restart":
+            state.phase = "restart"
+            state.restart_gen += 1
+            state.restart_total = message["total"]
+            state.restart_done = 0
+            state.restart_records = []
+            state.restart_started_at = message.get("t0", 0.0)
+            state.adverts = {}
+            state.done_fds = set()
+        # replay adverts that arrived before this restarter connected
+        for key, (host, port) in state.adverts.items():
+            yield from _send_safe(
+                sys, state, cfd, P.msg(P.MSG_ADVERTISE_BCAST, key=key, host=host, port=port)
+            )
+    elif kind == P.MSG_ADVERTISE:
+        key = message["key"]
+        state.adverts[key] = (message["host"], message["port"])
+        if state.supervise and state.tracer is not None:
+            state.last_progress = state.tracer.clock()  # reconnects flowing
+        for rfd in list(state.restarter_fds):
+            yield from _send_safe(
+                sys,
+                state,
+                rfd,
+                P.msg(P.MSG_ADVERTISE_BCAST, key=key, host=message["host"], port=message["port"]),
+            )
+    elif kind == P.MSG_STORE_MANIFEST:
+        # chunk-store metadata plane: lease the not-yet-stored chunks
+        # of this writer's manifest back to it (everything else is a
+        # dedup hit).  Rides a private writer connection at barrier 5.
+        need = state.store.lease(
+            message["refs"],
+            (message["host"], message["vpid"]),
+            message["ckpt_id"],
+        )
+        try:
+            yield from send_frame(
+                sys,
+                cfd,
+                P.msg(P.MSG_STORE_LEASE, need=need),
+                64 + 8 * max(len(need), 1),
+            )
+        except SyscallError:
+            _drop_connection(state, cfd)
+            return False
+    elif kind == P.MSG_STORE_COMMIT:
+        state.store.commit(message["digests"], message["host"])
+        try:
+            yield from send_frame(
+                sys, cfd, P.msg(P.MSG_STORE_OK), P.CTL_FRAME_BYTES
+            )
+        except SyscallError:
+            _drop_connection(state, cfd)
+            return False
+    elif kind == P.MSG_GOODBYE:
+        _drop_connection(state, cfd)
+        return False
+    return True
 
 
 def _drop_connection(state: CoordinatorState, cfd: int) -> None:
@@ -586,7 +613,21 @@ def _bounce_stale_arrival(sys: Sys, state: CoordinatorState, cfd: int):
 def _barrier_arrive(
     sys: Sys, state: CoordinatorState, cfd: int, name: str, n: int, relay: bool = False
 ):
-    state.barrier_messages += 1
+    yield from _barrier_arrive_batch(sys, state, name, [(cfd, n, relay)])
+
+
+def _barrier_arrive_batch(
+    sys: Sys, state: CoordinatorState, name: str, arrivals_list: list
+):
+    """Record one or more arrivals at a barrier, then one release check.
+
+    ``arrivals_list`` holds ``(cfd, n, relay)`` tuples.  The per-message
+    path always passes a single entry; the multi-tenant hub's batched
+    dispatcher coalesces every arrival at one barrier within a flush
+    window into a single call -- the coordinator-side analogue of the
+    gateway's MSG_BARRIER_COUNT aggregation.
+    """
+    state.barrier_messages += len(arrivals_list)
     tracer = state.tracer
     if name not in state.barrier_open_t:
         state.barrier_open_t[name] = state.clock()
@@ -597,16 +638,21 @@ def _barrier_arrive(
             # first arrival opens the barrier span: its duration is how
             # long the earliest process waited for the release
             state.barrier_open[name] = tracer.begin(
-                f"coordinator/barrier:{name}", name, cat="barrier"
+                state.barrier_track(name), name, cat="barrier",
+                tenant=state.tenant or None,
             )
         state.barrier_last_arrival[name] = tracer.clock()
-        tracer.count("coord.barrier_messages")
+        tracer.count(
+            "coord.barrier_messages", len(arrivals_list),
+            tenant=state.tenant or None,
+        )
     arrivals = state.barrier_arrivals.setdefault(name, set())
-    if relay:
-        state.barrier_counts[name] = state.barrier_counts.get(name, 0) + n
-        state.barrier_relay_fds.setdefault(name, set()).add(cfd)
-    else:
-        arrivals.add(cfd)
+    for cfd, n, relay in arrivals_list:
+        if relay:
+            state.barrier_counts[name] = state.barrier_counts.get(name, 0) + n
+            state.barrier_relay_fds.setdefault(name, set()).add(cfd)
+        else:
+            arrivals.add(cfd)
     yield from _maybe_release(sys, state, name)
 
 
@@ -633,13 +679,14 @@ def _maybe_release(sys: Sys, state: CoordinatorState, name: str):
             last = state.barrier_last_arrival.pop(name, first)
             straggler = last - first
             tracer.end(
-                f"coordinator/barrier:{name}",
+                state.barrier_track(name),
                 name,
                 cat="barrier",
+                tenant=state.tenant or None,
                 n=total,
                 straggler_s=straggler,
             )
-            tracer.count("coord.barriers_released")
+            tracer.count("coord.barriers_released", tenant=state.tenant or None)
             tracer.count_max("coord.barrier_straggler_max_s", straggler)
         for mfd in fds:
             yield from _send_safe(sys, state, mfd, P.msg(P.MSG_BARRIER_RELEASE, name=name))
@@ -824,9 +871,13 @@ def dmtcp_command_main(sys: Sys, argv):
         options["kill"] = True
     if "--forked" in argv:
         options["forked"] = True
-    yield from send_frame(
-        sys, fd, P.msg(P.MSG_COMMAND, cmd=cmd, options=options, arg=argv[-1]), P.CTL_FRAME_BYTES
-    )
+    command = P.msg(P.MSG_COMMAND, cmd=cmd, options=options, arg=argv[-1])
+    # service mode: the first message on a hub connection binds it to a
+    # tenant; single-tenant frames stay byte-for-byte what they were
+    tenant = yield from sys.getenv("DMTCP_TENANT")
+    if tenant:
+        command["tenant"] = tenant
+    yield from send_frame(sys, fd, command, P.CTL_FRAME_BYTES)
     asm = FrameAssembler()
     reply = yield from recv_frame(sys, fd, asm)
     yield from sys.close(fd)

@@ -94,8 +94,26 @@ class DmtcpComputation:
         sim_shards: Optional[int] = None,
         store: bool = False,
         store_replicas: Optional[int] = None,
+        tenant: str = "",
+        external_coordinator: bool = False,
     ):
         self.world = world
+        #: multi-tenant service (repro.service): a non-empty tenant name
+        #: namespaces this computation's programs, env, and trace spans so
+        #: many computations can share one world.  With
+        #: ``external_coordinator`` the computation does not spawn its own
+        #: coordinator process -- a CoordinatorHub hosts its
+        #: CoordinatorState alongside other tenants' behind one port.
+        self.tenant = tenant
+        self.external_coordinator = external_coordinator
+        if (tenant or external_coordinator) and (relay or tree_fanout or store):
+            raise ValueError(
+                "multi-tenant mode is incompatible with relay/tree/store "
+                "(those layers assume exclusive ownership of the world)"
+            )
+        suffix = f":{tenant}" if tenant else ""
+        self._coordinator_program = "dmtcp_coordinator" + suffix
+        self._restart_program = "dmtcp_restart" + suffix
         #: Parallel simulation core (repro.sim.parallel): how many engine
         #: shards this computation expects to run on.  The world must
         #: already be bound to a shard context (ShardContext.bind) when
@@ -135,7 +153,9 @@ class DmtcpComputation:
         #: supervision layer: coordinator watchdog + heartbeat, member
         #: barrier timeouts with rollback, atomic checksummed images
         self.supervise = supervise
-        self.state = CoordinatorState(port=port, interval=interval, tracer=world.tracer)
+        self.state = CoordinatorState(
+            port=port, interval=interval, tracer=world.tracer, tenant=tenant
+        )
         if supervise:
             dspec = world.spec.dmtcp
             self.state.supervise = True
@@ -158,10 +178,18 @@ class DmtcpComputation:
         #: its state across the exec boundary; Section 4.2's exec wrappers)
         self._exec_stash: dict[tuple[str, int], DmtcpRuntime] = {}
         self._register_programs()
-        world.hijack_factory = self._hijack_factory
-        self.coordinator_process = world.spawn_process(
-            self.coordinator_host, "dmtcp_coordinator", argv=["dmtcp_coordinator"]
-        )
+        if external_coordinator:
+            # hub mode: the TenantRegistry owns the world's hijack factory
+            # (dispatching on DMTCP_TENANT) and the hub process owns the
+            # shared port; this computation spawns nothing here
+            self.coordinator_process = None
+        else:
+            world.hijack_factory = self._hijack_factory
+            self.coordinator_process = world.spawn_process(
+                self.coordinator_host,
+                self._coordinator_program,
+                argv=[self._coordinator_program],
+            )
         if relay:
             # distributed-coordinator mode (Section 6 future work): one
             # barrier-combining relay per node
@@ -246,12 +274,15 @@ class DmtcpComputation:
     # Wiring
     # ------------------------------------------------------------------
     def _register_programs(self) -> None:
-        self.world.register_program(
-            "dmtcp_coordinator", make_coordinator_program(self.state), _COORD_SPEC
-        )
+        if not self.external_coordinator:
+            self.world.register_program(
+                self._coordinator_program,
+                make_coordinator_program(self.state),
+                _COORD_SPEC,
+            )
         self.world.register_program("dmtcp_command", dmtcp_command_main, _UTIL_SPEC)
         self.world.register_program(
-            "dmtcp_restart", make_restart_program(self), _UTIL_SPEC
+            self._restart_program, make_restart_program(self), _UTIL_SPEC
         )
 
     def base_env(self) -> dict[str, str]:
@@ -275,6 +306,8 @@ class DmtcpComputation:
         if self.supervise:
             env["DMTCP_SUPERVISE"] = "1"
             env["DMTCP_ATOMIC_IMAGES"] = "1"
+        if self.tenant:
+            env["DMTCP_TENANT"] = self.tenant
         return env
 
     def _hijack_factory(self, world: World, process, base_sys) -> WrappedSys:
@@ -402,10 +435,17 @@ class DmtcpComputation:
         return outcome
 
     def kill_computation(self) -> None:
-        """Simulate cluster failure: destroy every checkpointed process."""
+        """Simulate cluster failure: destroy every checkpointed process.
+
+        In multi-tenant worlds only this computation's processes die --
+        other tenants' processes also carry HIJACK_ENV and must survive.
+        """
         for process in list(self.world.live_processes()):
-            if process.env.get(HIJACK_ENV):
-                self.world.destroy_process(process, keep_continuations=True)
+            if not process.env.get(HIJACK_ENV):
+                continue
+            if process.env.get("DMTCP_TENANT", "") != self.tenant:
+                continue
+            self.world.destroy_process(process, keep_continuations=True)
 
     def restart_async(
         self,
@@ -444,11 +484,11 @@ class DmtcpComputation:
                 self._copy_images(orig_host, target, paths)
             env = dict(self.base_env())
             env.pop(HIJACK_ENV)  # the restart process itself is not hijacked
-            argv = ["dmtcp_restart"]
+            argv = [self._restart_program]
             if self.supervise:
                 argv.append("--validate")  # verify image manifests
             argv.extend([str(total), *paths])
-            self.world.spawn_process(target, "dmtcp_restart", argv, env)
+            self.world.spawn_process(target, self._restart_program, argv, env)
         return handle
 
     def _check_store_restorable(self, plan) -> None:
@@ -490,6 +530,11 @@ class DmtcpComputation:
         backoff), so the new coordinator starts with an empty member set
         that refills within a few heartbeats.
         """
+        if self.external_coordinator:
+            raise SimulationError(
+                "external-coordinator tenants have no coordinator process "
+                "of their own to respawn; respawn the hub instead"
+            )
         state = self.state
         tracer = state.tracer
         # close any barrier spans left open by the crash mid-checkpoint
@@ -498,7 +543,8 @@ class DmtcpComputation:
             state.barrier_last_arrival.pop(name, None)
             if tracer is not None:
                 tracer.end(
-                    f"coordinator/barrier:{name}", name, cat="barrier", aborted=True
+                    state.barrier_track(name), name, cat="barrier",
+                    tenant=state.tenant or None, aborted=True,
                 )
         state.members = {}
         state.restarter_fds = set()
@@ -516,7 +562,9 @@ class DmtcpComputation:
         if tracer is not None:
             tracer.count("coord.respawns")
         self.coordinator_process = self.world.spawn_process(
-            self.coordinator_host, "dmtcp_coordinator", argv=["dmtcp_coordinator"]
+            self.coordinator_host,
+            self._coordinator_program,
+            argv=[self._coordinator_program],
         )
         return self.coordinator_process
 

@@ -108,17 +108,19 @@ def manager_main(runtime: "DmtcpRuntime", restart_image: Optional[CheckpointImag
     yield from sys.fcntl(fd, "F_SETFD_CLOEXEC", 1)
     runtime.coord_fd = fd
     asm = FrameAssembler()
-    yield from coord_send(
-        sys,
-        fd,
-        P.msg(
-            P.MSG_HELLO,
-            host=process.node.hostname,
-            vpid=runtime.vpid,
-            program=process.program,
-            restart=restart_image is not None,
-        ),
+    hello = P.msg(
+        P.MSG_HELLO,
+        host=process.node.hostname,
+        vpid=runtime.vpid,
+        program=process.program,
+        restart=restart_image is not None,
     )
+    # service mode: the first message on a hub connection binds it to a
+    # tenant; single-tenant frames stay byte-for-byte what they were
+    tenant = env.get("DMTCP_TENANT")
+    if tenant:
+        hello["tenant"] = tenant
+    yield from coord_send(sys, fd, hello)
     # distributed-coordinator mode: barrier traffic goes through the
     # node-local relay instead of the root (Section 6 future work)
     relay_port = env.get("DMTCP_RELAY_PORT")
@@ -223,18 +225,20 @@ def _reconnect_coordinator(sys: Sys, runtime: "DmtcpRuntime"):
         yield from sys.fcntl(fd, "F_SETFD_CLOEXEC", 1)
         runtime.coord_fd = fd
         asm = FrameAssembler()
-        yield from coord_send(
-            sys,
-            fd,
-            P.msg(
-                P.MSG_HELLO,
-                host=process.node.hostname,
-                vpid=runtime.vpid,
-                program=process.program,
-                restart=False,
-            ),
+        hello = P.msg(
+            P.MSG_HELLO,
+            host=process.node.hostname,
+            vpid=runtime.vpid,
+            program=process.program,
+            restart=False,
         )
-        runtime.world.tracer.count("dmtcp.coordinator_reconnects")
+        tenant = env.get("DMTCP_TENANT")
+        if tenant:
+            hello["tenant"] = tenant
+        yield from coord_send(sys, fd, hello)
+        runtime.world.tracer.count(
+            "dmtcp.coordinator_reconnects", tenant=tenant or None
+        )
         return fd, asm
     return None
 
@@ -250,10 +254,11 @@ def run_checkpoint(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: FrameAssembl
     world = runtime.world
     tracer = world.tracer
     track = proc_track(process.node.hostname, process.program, runtime.vpid)
-    clock = StageClock(tracer, track, cat="ckpt")
+    tenant = process.env.get("DMTCP_TENANT") or None
+    clock = StageClock(tracer, track, cat="ckpt", tenant=tenant)
     ckpt_id = message["ckpt_id"]
     runtime.in_checkpoint = True
-    tracer.count("dmtcp.checkpoints_started")
+    tracer.count("dmtcp.checkpoints_started", tenant=tenant)
     _fire_hook(runtime, "pre-checkpoint", ckpt_id=ckpt_id)
     supervise = process.env.get("DMTCP_SUPERVISE") == "1"
     timeout = world.spec.dmtcp.member_recv_timeout_s if supervise else None
@@ -434,7 +439,7 @@ def _checkpoint_stages(
         yield from sys.resume_threads()
     runtime.in_checkpoint = False
     runtime.checkpoints_done += 1
-    tracer.count("dmtcp.checkpoints_done")
+    tracer.count("dmtcp.checkpoints_done", tenant=process.env.get("DMTCP_TENANT") or None)
     _fire_hook(runtime, "post-checkpoint", ckpt_id=ckpt_id)
 
 
@@ -480,7 +485,7 @@ def _rollback_checkpoint(sys: Sys, runtime: "DmtcpRuntime", fd: int, clock: Stag
     if ctx.get("suspended"):
         yield from sys.resume_threads()
     runtime.in_checkpoint = False
-    tracer.count("dmtcp.checkpoints_aborted")
+    tracer.count("dmtcp.checkpoints_aborted", tenant=process.env.get("DMTCP_TENANT") or None)
     if not getattr(err, "from_coordinator", False):
         # local failure (ENOSPC, drain timeout): tell the coordinator so
         # it aborts the other members too; best-effort, it may be dead
@@ -500,17 +505,19 @@ def _rejoin_after_restart(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: Frame
     track = proc_track(
         runtime.process.node.hostname, runtime.process.program, runtime.vpid
     )
+    tenant = runtime.process.env.get("DMTCP_TENANT") or None
     supervise = runtime.process.env.get("DMTCP_SUPERVISE") == "1"
     timeout = world.spec.dmtcp.member_recv_timeout_s if supervise else None
     yield from barrier(sys, bchan[0], bchan[1], "restart-" + P.BARRIER_CHECKPOINTED, timeout)
-    tracer.begin(track, "refill", cat="restart")
+    tracer.begin(track, "refill", cat="restart", tenant=tenant)
     try:
         dead_fds = {f.fd for f in image.fds if f.peer_dead}
         led = sorted(set(image.drained) - dead_fds)
         yield from _refill_all(runtime, led, image.drained, timeout)
         yield from barrier(sys, bchan[0], bchan[1], "restart-" + P.BARRIER_REFILLED, timeout)
     except (SyscallError, CheckpointAborted):
-        tracer.end(track, "refill", cat="restart")  # balance the span stack
+        # balance the span stack
+        tracer.end(track, "refill", cat="restart", tenant=tenant)
         raise
     for fd_img in image.fds:
         if fd_img.conn_key is not None and fd_img.owner_vpid:
@@ -520,7 +527,7 @@ def _rejoin_after_restart(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: Frame
                 continue
     yield from sys.resume_threads()
     stages = dict(getattr(runtime, "restart_stages", {}))
-    stages["refill"] = tracer.end(track, "refill", cat="restart")
+    stages["refill"] = tracer.end(track, "refill", cat="restart", tenant=tenant)
     record = {
         "host": runtime.process.node.hostname,
         "vpid": runtime.vpid,
@@ -531,7 +538,7 @@ def _rejoin_after_restart(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: Frame
         sys, fd, P.msg(P.MSG_CKPT_DONE, record=record, image_path=None, host=runtime.process.node.hostname, restart=True)
     )
     runtime.restarts_done += 1
-    tracer.count("dmtcp.restarts_done")
+    tracer.count("dmtcp.restarts_done", tenant=tenant)
     _fire_hook(runtime, "post-restart", ckpt_id=image.ckpt_id)
 
 
@@ -603,8 +610,9 @@ def _drain_endpoint(sys: Sys, runtime: "DmtcpRuntime", sfd: int, out: dict, time
             pass
     tracer = runtime.world.tracer
     if tracer.enabled:
-        tracer.count("dmtcp.drained_chunks", len(chunks))
-        tracer.count("dmtcp.drained_bytes", sum(c.nbytes for c in chunks))
+        tenant = process.env.get("DMTCP_TENANT") or None
+        tracer.count("dmtcp.drained_chunks", len(chunks), tenant=tenant)
+        tracer.count("dmtcp.drained_bytes", sum(c.nbytes for c in chunks), tenant=tenant)
     out[sfd] = chunks
 
 
@@ -612,15 +620,18 @@ def _refill_all(runtime: "DmtcpRuntime", led: list[int], drained: dict[int, list
     """Stage 6: per-endpoint refill threads, then join them all."""
     world = runtime.world
     process = runtime.process
+    tenant = process.env.get("DMTCP_TENANT") or None
     threads = []
     for sfd in led:
-        gen = _refill_endpoint(Sys(), sfd, drained.get(sfd, []), world.tracer, timeout)
+        gen = _refill_endpoint(
+            Sys(), sfd, drained.get(sfd, []), world.tracer, timeout, tenant=tenant
+        )
         threads.append(world.spawn_thread(process, gen, f"refill-fd{sfd}", kind="manager"))
     for t in threads:
         yield t.task.done_future
 
 
-def _refill_endpoint(sys: Sys, sfd: int, my_drained: list, tracer=None, timeout: Optional[float] = None):
+def _refill_endpoint(sys: Sys, sfd: int, my_drained: list, tracer=None, timeout: Optional[float] = None, tenant=None):
     """Send drained data back to its sender; re-send what the peer drained.
 
     Section 4.3 step 6: "DMTCP then sends the drained socket buffer data
@@ -644,8 +655,8 @@ def _refill_endpoint(sys: Sys, sfd: int, my_drained: list, tracer=None, timeout:
     (tag, peer_chunks), _size = result
     assert tag == REFILL_TAG, f"unexpected frame during refill: {tag}"
     if tracer is not None and tracer.enabled:
-        tracer.count("dmtcp.refilled_chunks", len(peer_chunks))
-        tracer.count("dmtcp.refilled_bytes", sum(c.nbytes for c in peer_chunks))
+        tracer.count("dmtcp.refilled_chunks", len(peer_chunks), tenant=tenant)
+        tracer.count("dmtcp.refilled_bytes", sum(c.nbytes for c in peer_chunks), tenant=tenant)
     for chunk in peer_chunks:
         # force: the refilled volume is bounded by what the channel held
         # at suspend time (recv queue + send queue + wire), which the

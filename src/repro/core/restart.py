@@ -75,10 +75,13 @@ def make_restart_program(computation: "DmtcpComputation"):
         cfd = yield from sys.socket()
         yield from connect_retry(sys, cfd, coord_host, coord_port)
         coord_asm = FrameAssembler()
-        yield from send_frame(
-            sys, cfd, P.msg(P.MSG_RESTART_HELLO, host=my_host, total=total, t0=t0),
-            P.CTL_FRAME_BYTES,
-        )
+        hello = P.msg(P.MSG_RESTART_HELLO, host=my_host, total=total, t0=t0)
+        # service mode: the first message on a hub connection binds it to
+        # a tenant; single-tenant frames stay byte-for-byte what they were
+        tenant = yield from sys.getenv("DMTCP_TENANT")
+        if tenant:
+            hello["tenant"] = tenant
+        yield from send_frame(sys, cfd, hello, P.CTL_FRAME_BYTES)
 
         tracer.begin(track, "image_read", cat="restart")
         images = []

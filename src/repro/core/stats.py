@@ -37,22 +37,23 @@ class StageClock:
     tracer's span measurements (which work even when recording is off).
     """
 
-    __slots__ = ("tracer", "track", "cat", "t_start", "stages")
+    __slots__ = ("tracer", "track", "cat", "tenant", "t_start", "stages")
 
-    def __init__(self, tracer: Tracer, track: str, cat: str = "ckpt"):
+    def __init__(self, tracer: Tracer, track: str, cat: str = "ckpt", tenant=None):
         self.tracer = tracer
         self.track = track
         self.cat = cat
+        self.tenant = tenant
         self.t_start = tracer.clock()
         self.stages: dict[str, float] = {}
 
     def begin(self, stage: str) -> None:
         """Open the span for ``stage``."""
-        self.tracer.begin(self.track, stage, cat=self.cat)
+        self.tracer.begin(self.track, stage, cat=self.cat, tenant=self.tenant)
 
     def end(self, stage: str) -> None:
         """Close the open stage span, accumulating its duration."""
-        duration = self.tracer.end(self.track, stage, cat=self.cat)
+        duration = self.tracer.end(self.track, stage, cat=self.cat, tenant=self.tenant)
         self.stages[stage] = self.stages.get(stage, 0.0) + duration
 
     @property

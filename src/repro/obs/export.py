@@ -30,10 +30,20 @@ def jsonl_lines(tracer: Tracer) -> list[str]:
             record["cat"] = ev.cat
         if ev.args:
             record["args"] = ev.args
+        if ev.tenant:
+            record["tenant"] = ev.tenant
         lines.append(json.dumps(record, sort_keys=True))
     if tracer.counters:
         counters = {k: tracer.counters[k] for k in sorted(tracer.counters)}
         lines.append(json.dumps({"ph": "counters", "values": counters}, sort_keys=True))
+    for tenant in sorted(tracer.tenant_counters):
+        per = tracer.tenant_counters[tenant]
+        values = {k: per[k] for k in sorted(per)}
+        lines.append(
+            json.dumps(
+                {"ph": "counters", "tenant": tenant, "values": values}, sort_keys=True
+            )
+        )
     return lines
 
 
@@ -93,7 +103,9 @@ def chrome_trace(tracer: Tracer) -> dict:
         }
         if ev.ph == "i":
             record["s"] = "t"  # thread-scoped instant
-        if ev.args:
+        if ev.tenant:
+            record["args"] = {**(ev.args or {}), "tenant": ev.tenant}
+        elif ev.args:
             record["args"] = ev.args
         events.append(record)
     # final counter values, one "C" sample each, at the trace's end time
@@ -103,6 +115,13 @@ def chrome_trace(tracer: Tracer) -> dict:
             {"ph": "C", "ts": end_ts, "pid": 0, "tid": 0, "name": name,
              "args": {"value": tracer.counters[name]}}
         )
+    for tenant in sorted(tracer.tenant_counters):
+        per = tracer.tenant_counters[tenant]
+        for name in sorted(per):
+            events.append(
+                {"ph": "C", "ts": end_ts, "pid": 0, "tid": 0,
+                 "name": f"{name}@{tenant}", "args": {"value": per[name]}}
+            )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

@@ -41,7 +41,7 @@ PH_INSTANT = "i"
 class TraceEvent:
     """One recorded trace event (span edge or instant)."""
 
-    __slots__ = ("ph", "ts", "track", "name", "cat", "args")
+    __slots__ = ("ph", "ts", "track", "name", "cat", "args", "tenant")
 
     def __init__(
         self,
@@ -51,6 +51,7 @@ class TraceEvent:
         name: str,
         cat: Optional[str] = None,
         args: Optional[dict] = None,
+        tenant: Optional[str] = None,
     ):
         self.ph = ph
         self.ts = ts
@@ -58,6 +59,7 @@ class TraceEvent:
         self.name = name
         self.cat = cat
         self.args = args
+        self.tenant = tenant
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<TraceEvent {self.ph} t={self.ts:.9f} {self.track} {self.name}>"
@@ -76,8 +78,8 @@ class Tracer:
     """
 
     __slots__ = (
-        "clock", "enabled", "events", "counters", "_stacks", "_watchers",
-        "_span_hooks",
+        "clock", "enabled", "events", "counters", "tenant_counters",
+        "_stacks", "_watchers", "_span_hooks",
     )
 
     def __init__(self, clock: Optional[Callable[[], float]] = None, enabled: bool = False):
@@ -87,6 +89,10 @@ class Tracer:
         self.events: list[TraceEvent] = []
         #: Cumulative counters, name -> value.
         self.counters: dict[str, float] = {}
+        #: Per-tenant counter breakdown, tenant -> {name -> value}.  Only
+        #: populated when callers pass ``tenant=`` (the multi-tenant
+        #: service); single-tenant runs never touch it.
+        self.tenant_counters: dict[str, dict[str, float]] = {}
         #: Per-track stacks of open spans: track -> [(name, begin_ts), ...]
         self._stacks: dict[str, list[tuple[str, float]]] = {}
         #: enable/disable listeners -- hot loops (engine step, scheduler
@@ -127,6 +133,7 @@ class Tracer:
         """Drop all recorded events, counters, and open spans."""
         self.events.clear()
         self.counters.clear()
+        self.tenant_counters.clear()
         self._stacks.clear()
 
     # ------------------------------------------------------------------
@@ -148,7 +155,10 @@ class Tracer:
     # ------------------------------------------------------------------
     # Spans
     # ------------------------------------------------------------------
-    def begin(self, track: str, name: str, cat: Optional[str] = None, **args: Any) -> float:
+    def begin(
+        self, track: str, name: str, cat: Optional[str] = None,
+        tenant: Optional[str] = None, **args: Any,
+    ) -> float:
         """Open a span on ``track``; returns its begin timestamp."""
         now = self.clock()
         stack = self._stacks.get(track)
@@ -156,13 +166,18 @@ class Tracer:
             stack = self._stacks[track] = []
         stack.append((name, now))
         if self.enabled:
-            self.events.append(TraceEvent(PH_BEGIN, now, track, name, cat, args or None))
+            self.events.append(
+                TraceEvent(PH_BEGIN, now, track, name, cat, args or None, tenant)
+            )
         if self._span_hooks:
             for fn in list(self._span_hooks):
                 fn(PH_BEGIN, track, name, now)
         return now
 
-    def end(self, track: str, name: Optional[str] = None, cat: Optional[str] = None, **args: Any) -> float:
+    def end(
+        self, track: str, name: Optional[str] = None, cat: Optional[str] = None,
+        tenant: Optional[str] = None, **args: Any,
+    ) -> float:
         """Close the innermost open span on ``track``; returns its duration.
 
         If ``name`` is given it must match the open span (balance check).
@@ -178,17 +193,24 @@ class Tracer:
                 f"end({name!r}) on track {track!r} does not match open span {open_name!r}"
             )
         if self.enabled:
-            self.events.append(TraceEvent(PH_END, now, track, open_name, cat, args or None))
+            self.events.append(
+                TraceEvent(PH_END, now, track, open_name, cat, args or None, tenant)
+            )
         if self._span_hooks:
             for fn in list(self._span_hooks):
                 fn(PH_END, track, open_name, now)
         return now - begin_ts
 
-    def instant(self, track: str, name: str, cat: Optional[str] = None, **args: Any) -> float:
+    def instant(
+        self, track: str, name: str, cat: Optional[str] = None,
+        tenant: Optional[str] = None, **args: Any,
+    ) -> float:
         """Record a point-in-time event; returns its timestamp."""
         now = self.clock()
         if self.enabled:
-            self.events.append(TraceEvent(PH_INSTANT, now, track, name, cat, args or None))
+            self.events.append(
+                TraceEvent(PH_INSTANT, now, track, name, cat, args or None, tenant)
+            )
         return now
 
     def open_spans(self, track: Optional[str] = None) -> int:
@@ -200,17 +222,25 @@ class Tracer:
     # ------------------------------------------------------------------
     # Counters
     # ------------------------------------------------------------------
-    def count(self, name: str, value: float = 1) -> None:
+    def count(self, name: str, value: float = 1, tenant: Optional[str] = None) -> None:
         """Add ``value`` to counter ``name`` (no-op when disabled)."""
         if self.enabled:
             self.counters[name] = self.counters.get(name, 0) + value
+            if tenant:
+                per = self.tenant_counters.setdefault(tenant, {})
+                per[name] = per.get(name, 0) + value
 
-    def count_max(self, name: str, value: float) -> None:
+    def count_max(self, name: str, value: float, tenant: Optional[str] = None) -> None:
         """Track the maximum of ``value`` under ``name`` (no-op when disabled)."""
         if self.enabled:
             current = self.counters.get(name)
             if current is None or value > current:
                 self.counters[name] = value
+            if tenant:
+                per = self.tenant_counters.setdefault(tenant, {})
+                current = per.get(name)
+                if current is None or value > current:
+                    per[name] = value
 
     def snapshot(self) -> dict[str, float]:
         """A copy of all counters, for tests and benchmarks to assert on."""

@@ -1,0 +1,29 @@
+"""Multi-tenant checkpoint service (the service layer over repro.core).
+
+Three pieces compose into one service:
+
+* :class:`CoordinatorHub` -- one process hosting every tenant's
+  coordinator state behind one port, with a batched (or per-message)
+  dispatch loop.
+* :class:`TenantRegistry` -- creates per-tenant DmtcpComputations that
+  share the hub instead of spawning private coordinators, and
+  multiplexes the world's hijack factory by DMTCP_TENANT.
+* :class:`ClusterScheduler` -- places tenant jobs on worker hosts and
+  preempts them exclusively via checkpoint -> kill -> restart-elsewhere
+  (spot evictions, priority preemption, defrag migration).
+
+See ``repro.harness.service`` for the assembled scenario and
+``python -m repro service`` for the CLI.
+"""
+
+from repro.service.hub import CoordinatorHub
+from repro.service.registry import TenantRegistry
+from repro.service.scheduler import ClusterScheduler, TenantJob, register_worker_program
+
+__all__ = [
+    "CoordinatorHub",
+    "TenantRegistry",
+    "ClusterScheduler",
+    "TenantJob",
+    "register_worker_program",
+]
