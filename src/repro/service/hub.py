@@ -93,6 +93,13 @@ class CoordinatorHub:
         #: inbound queue: (tenant, cfd, message-or-None) -- None marks a
         #: disconnect observed by the connection thread
         self.pending: deque = deque()
+        #: cfds the dispatcher retired mid-stream (a store reply whose
+        #: peer died -- ``_dispatch_message`` returned keep=False on a
+        #: non-GOODBYE frame).  The reader consumes the tombstone at its
+        #: EOF instead of enqueueing a duplicate disconnect; a disconnect
+        #: already queued when the tombstone lands consumes it instead,
+        #: so entries never outlive their connection (cfds are reused)
+        self.finished: set = set()
         #: doorbell semaphore: the dispatcher blocks on it only when the
         #: queue is empty (``idle``); enqueuers ring it at most once per
         #: idle period, so queue throughput costs no per-frame syscalls
@@ -158,7 +165,12 @@ def _hub_connection(sys: Sys, hub: CoordinatorHub, cfd: int):
     while True:
         result = yield from recv_frame(sys, cfd, asm)
         if result is None:
-            if tenant is not None:
+            if cfd in hub.finished:
+                # the dispatcher already retired this connection; the
+                # coordinator state dropped the cfd, so a second
+                # disconnect would be noise -- consume the tombstone
+                hub.finished.discard(cfd)
+            elif tenant is not None:
                 yield from _enqueue(sys, hub, (tenant, cfd, None))
             return
         message = result[0]
@@ -171,6 +183,11 @@ def _hub_connection(sys: Sys, hub: CoordinatorHub, cfd: int):
                     pass
                 return
         yield from _enqueue(sys, hub, (tenant, cfd, message))
+        if message.get("kind") == P.MSG_GOODBYE:
+            # the dispatcher will drop the connection when it applies
+            # this frame; stop reading now rather than waiting for the
+            # peer's close to enqueue a redundant disconnect
+            return
 
 
 def _enqueue(sys: Sys, hub: CoordinatorHub, item: tuple):
@@ -219,9 +236,16 @@ def _apply_item(sys: Sys, hub: CoordinatorHub, item: tuple):
     if state is None:
         return
     if message is None:
+        hub.finished.discard(cfd)
         yield from _handle_disconnect(sys, state, cfd)
     else:
-        yield from _dispatch_message(sys, state, cfd, message)
+        keep = yield from _dispatch_message(sys, state, cfd, message)
+        if not keep and message["kind"] != P.MSG_GOODBYE:
+            # retired mid-stream (dead store peer): tombstone the cfd so
+            # the reader's eventual EOF does not re-disconnect it.
+            # GOODBYE needs no tombstone -- the reader stopped at the
+            # frame itself and will never report an EOF
+            hub.finished.add(cfd)
 
 
 def _apply_batch(sys: Sys, hub: CoordinatorHub, batch: list):
@@ -264,9 +288,12 @@ def _apply_tenant(sys: Sys, hub: CoordinatorHub, state: CoordinatorState, items:
             yield from _flush_arrivals(sys, state, name, arrivals.pop(name))
         order.clear()
         if message is None:
+            hub.finished.discard(cfd)
             yield from _handle_disconnect(sys, state, cfd)
         else:
-            yield from _dispatch_message(sys, state, cfd, message)
+            keep = yield from _dispatch_message(sys, state, cfd, message)
+            if not keep and message["kind"] != P.MSG_GOODBYE:
+                hub.finished.add(cfd)  # see _apply_item
     for name in order:
         yield from _flush_arrivals(sys, state, name, arrivals.pop(name))
 

@@ -246,6 +246,10 @@ class ClusterScheduler:
         else:
             job.state = "running"
             job.placed_t = now
+            # an eviction victim with no valid checkpoint is re-placed
+            # fresh; it is no longer disturbed once its relaunch lands
+            # (the resume branch defers this to _collect_restarts)
+            self._disturbed.discard(job.name)
             for rank in range(job.slots):
                 comp.launch(host, "svc_worker",
                             argv=["svc_worker", job.name, str(rank)])
@@ -412,11 +416,15 @@ class ClusterScheduler:
             job = self.jobs[name]
             if not isinstance(outcome, CheckpointOutcome):
                 # refused (e.g. a periodic checkpoint was in flight):
-                # roll the job back to running and retry next tick
-                job.state = "running"
-                self._disturbed.discard(name)
+                # roll the job back to running and retry next tick.
+                # Guarded: an eviction may have requeued the job while
+                # the handle was in flight (defense in depth on top of
+                # _evict_host popping the entry)
                 if kind == "migrate" and target is not None:
                     self.used[target] -= job.slots
+                if job.state == "preempting":
+                    job.state = "running"
+                    self._disturbed.discard(name)
                 continue
             # --kill retired the processes at the end of the write; a
             # graceful preemption loses no work at all
@@ -425,7 +433,15 @@ class ClusterScheduler:
             self._disturbed.discard(name)
             if kind == "migrate" and target is not None:
                 self.used[target] -= job.slots  # drop reservation, place for real
-                self._place(job, target)
+                if self.world.node_state(target).down:
+                    # the reserved target was spot-evicted while the
+                    # checkpoint was in flight (the reservation made it
+                    # count as occupied, so the wave could pick it):
+                    # requeue instead of restarting onto a dead node
+                    job.state = "queued"
+                    job.queued_t = now
+                else:
+                    self._place(job, target)
             else:
                 job.state = "queued"
                 job.queued_t = now
@@ -463,9 +479,18 @@ class ClusterScheduler:
         for job in victims:
             job.evictions += 1
             was_starting = job.state == "starting"
-            # an in-flight periodic checkpoint or preemption dies with
-            # the node; its handle resolves via watchdog abort, which
-            # _charge_failure must not count (the tenant is disturbed)
+            # an in-flight periodic checkpoint, preemption, or restart
+            # dies with the node.  Drop its bookkeeping *now*: the
+            # watchdog-aborted handle resolves seconds later, and if the
+            # _preempts entry survived, _collect_preemptions would roll
+            # the (already requeued, host=None) job back to "running";
+            # if the _ckpts entry survived, the abort could be charged
+            # as a cross-tenant failure once the job is running again.
+            self._ckpts.pop(job.name, None)
+            pre = self._preempts.pop(job.name, None)
+            if pre is not None and pre[1] == "migrate" and pre[2] is not None:
+                self.used[pre[2]] -= job.slots  # drop the defrag reservation
+            self._restarts.pop(job.name, None)
             comp = self.registry.get(job.name)
             outcome = find_newest_valid_plan(world, comp.state, expected[job.name])
             self._release(job)

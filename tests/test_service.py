@@ -257,6 +257,99 @@ def test_per_message_mode_matches_batched_results():
         assert b[key] == p[key], (key, b[key], p[key])
 
 
+def test_eviction_during_preemption_checkpoint_stays_consistent():
+    """Regression: a spot eviction landing while the victim's preemption
+    checkpoint is in flight must drop the in-flight bookkeeping.  The
+    watchdog-aborted handle used to resolve seconds later and flip the
+    already-requeued job back to ``running`` with ``host=None``, which
+    then crashed accounting (``used[None]``) and charged phantom
+    cross-tenant failures."""
+    world, hub, registry = _service_world(n_nodes=3)
+    host = world.machine.hostnames[1]
+    sched = ClusterScheduler(
+        world, registry, hub, worker_hosts=[host], seed=0, interval_s=1.0,
+    )
+    low = sched.add_job("low", priority=1, slots=8, arrival_t=0.1,
+                        slices=100_000, slice_s=0.05)
+    hi = sched.add_job("hi", priority=5, slots=8, arrival_t=1.0,
+                       slices=20, slice_s=0.05)
+    sched.start()
+    world.engine.run_until(lambda: low.state == "preempting")
+    assert "low" in sched._preempts
+    sched._evict_host(host)  # lands mid-preemption-checkpoint
+    assert "low" not in sched._preempts
+    assert low.state == "queued"
+    world.engine.run(until=70.0)
+    # no job is ever "running" without a live host
+    for job in sched.jobs.values():
+        if job.state == "running":
+            assert job.host is not None
+            assert not world.node_state(job.host).down
+    assert hi.state == "done"
+    assert low.state in ("running", "done")
+    assert sched.cross_tenant_failures == 0
+
+
+def test_migration_target_evicted_mid_flight_requeues():
+    """Regression: the defrag reservation makes the migration target
+    count as occupied, so an eviction wave can yank it while the mover's
+    checkpoint is in flight.  Completion must requeue the mover instead
+    of restarting it onto the dead node (which raised EHOSTDOWN inside
+    the engine and aborted the whole run)."""
+    world, hub, registry = _service_world(n_nodes=3)
+    host1, host2 = world.machine.hostnames[1:]
+    sched = ClusterScheduler(
+        world, registry, hub, worker_hosts=[host1, host2],
+        seed=0, interval_s=1.0,
+    )
+    pin = sched.add_job("pin", slots=2, arrival_t=0.1,
+                        slices=100_000, slice_s=0.05)
+    sched.add_job("short", slots=6, arrival_t=0.1, slices=10, slice_s=0.05)
+    sticky = sched.add_job("sticky", slots=6, arrival_t=0.2,
+                           slices=100_000, slice_s=0.05)
+    sched.add_job("big", slots=8, arrival_t=2.0,
+                  slices=100_000, slice_s=0.05)
+    sched.start()
+    world.engine.run_until(lambda: "pin" in sched._preempts)
+    assert sched._preempts["pin"][2] == host2  # migrating onto host2
+    sched._evict_host(host2)  # target dies while the checkpoint flies
+    world.engine.run(until=70.0)
+    assert pin.migrations == 1
+    for job in sched.jobs.values():
+        if job.state == "running":
+            assert job.host is not None
+            assert not world.node_state(job.host).down
+    assert pin.state in ("running", "done")
+    assert sticky.state in ("running", "done")
+    # reservations fully unwound: used matches the placed jobs exactly
+    for h in (host1, host2):
+        placed = sum(j.slots for j in sched.jobs.values() if j.host == h)
+        assert sched.used[h] == placed
+    assert sched.cross_tenant_failures == 0
+
+
+def test_fresh_relaunch_clears_disturbed():
+    """Regression: an eviction victim with no valid checkpoint is
+    re-placed via the fresh-launch branch, which must clear its
+    ``disturbed`` mark -- otherwise the job is excluded from
+    preemption/defrag forever and its later failures are never charged
+    to the isolation metric."""
+    world, hub, registry = _service_world(n_nodes=3)
+    host = world.machine.hostnames[1]
+    sched = ClusterScheduler(
+        world, registry, hub, worker_hosts=[host], seed=0, interval_s=5.0,
+    )
+    job = sched.add_job("fresh", slots=4, arrival_t=0.1,
+                        slices=100_000, slice_s=0.05)
+    sched.start()
+    world.engine.run_until(lambda: job.state == "running")
+    sched._evict_host(host)  # before the first checkpoint epoch
+    assert job.resume_plan is None  # nothing to resume from
+    assert "fresh" in sched._disturbed
+    world.engine.run_until(lambda: job.state == "running")
+    assert "fresh" not in sched._disturbed
+
+
 def test_registry_rejects_duplicate_and_unknown():
     world, hub, registry = _service_world(n_nodes=2)
     registry.create_tenant("one")
