@@ -19,7 +19,7 @@ hand produces no diff.
 
 import pathlib
 
-from repro.faults.scenarios import run_chaos, run_mtbf
+from repro.faults.scenarios import run_chaos, run_coordinator_mtbf, run_mtbf
 
 from benchmarks._util import quick_mode, run_timed, save_and_print, save_json
 from repro.harness.report import table
@@ -75,8 +75,9 @@ def test_chaos_sweep(benchmark):
 
     # the cross-PR robustness file at the repo root: the canonical quick
     # report, identical to `python -m repro chaos --seed 7 --quick`
-    save_json("BENCH_faults", run_chaos("mtbf", seed=7, quick=True),
-              path=REPO_ROOT / "BENCH_faults.json")
+    # (which now embeds the coordinator-kill failover sweep)
+    canonical = run_chaos("mtbf", seed=7, quick=True)
+    save_json("BENCH_faults", canonical, path=REPO_ROOT / "BENCH_faults.json")
 
     for c in cells:
         # every injected crash was survived by an automatic restart
@@ -87,3 +88,55 @@ def test_chaos_sweep(benchmark):
         # a crash can destroy at most one checkpoint interval of work
         # (plus the barrier timeout it takes to notice)
         assert c["max_lost_work_s"] <= c["bound_s"], c
+
+    # resilience gates riding in the canonical file: every embedded
+    # coordinator kill was absorbed by a live failover
+    failover = canonical["coordinator_failover"]
+    assert failover["live_failovers"] == failover["kills"], failover
+    assert failover["gang_restarts_from_failover"] == 0, failover
+    assert failover["recovery_violations"] == 0, failover
+    assert failover["process_failures"] == 0, failover
+
+
+def test_coordinator_failover_sweep(benchmark):
+    """Coordinator-kill MTBF sweep: seeded kills across idle windows,
+    barrier phases, and mid-restart, on both topologies.  Quick mode runs
+    3 kills per topology; the default sweep runs the full acceptance load
+    (>= 20 kills) and must show 100% live failover, zero gang restarts,
+    and every recovery inside its derived bound."""
+    kills = 3 if quick_mode() else 10
+
+    def _sweep_failover():
+        star = run_coordinator_mtbf(7, kills=kills, interval_s=5.0, mtbf_s=4.0)
+        tree = run_coordinator_mtbf(
+            7, kills=kills, interval_s=5.0, mtbf_s=4.0, tree_fanout=2
+        )
+        return [star, tree]
+
+    topologies, wall = run_timed(benchmark, _sweep_failover)
+    rows = []
+    for topo in topologies:
+        for rec in topo["records"]:
+            rows.append(
+                (topo["topology"], rec["mode"], rec["detail"] or "-",
+                 rec["t_kill"], rec["recovery_s"], rec["bound_s"],
+                 "yes" if rec["live_failover"] else "NO")
+            )
+    text = table(
+        ["topology", "mode", "phase", "t_kill_s", "recovery_s", "bound_s",
+         "live"],
+        rows,
+        title="Coordinator-kill failover sweep -- live respawn + reconnect "
+        "+ re-register (no gang restarts)",
+    )
+    save_and_print("chaos_failover", text)
+    save_json(
+        "chaos_failover",
+        {"topologies": topologies, "seed": 7, "wall_clock_s": wall},
+    )
+
+    for topo in topologies:
+        assert topo["live_failovers"] == topo["kills"], topo["scenario"]
+        assert topo["gang_restarts_from_failover"] == 0, topo["scenario"]
+        assert topo["recovery_violations"] == 0, topo["scenario"]
+        assert topo["process_failures"] == 0, topo["scenario"]

@@ -187,12 +187,44 @@ def _chaos(argv: list[str]) -> int:
         "--quick", action="store_true",
         help="smaller sweep (fewer crashes, shorter interval)",
     )
+    parser.add_argument(
+        "--coordinator-mtbf", action="store_true",
+        help="shorthand for the coordinator-kill failover sweep "
+             "(same as the 'coordinator-mtbf' scenario)",
+    )
     parser.add_argument("--out", default=None, help="report output path (JSON)")
     args = parser.parse_args(argv)
+    if args.coordinator_mtbf:
+        args.scenario = "coordinator-mtbf"
 
     report = run_chaos(args.scenario, seed=args.seed, quick=args.quick)
     out = args.out or "BENCH_faults.json"
     Path(out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    if "live_failovers" in report:
+        # the coordinator failover sweep merges a star and a tree run:
+        # print the failover gates instead of the single-cluster summary
+        print(f"chaos scenario {args.scenario!r} (seed {args.seed}): "
+              f"{report['kills']} coordinator kills -> {out}")
+        for topo in ("star", "tree"):
+            sub = report[topo]
+            print(f"  {topo}: {sub['live_failovers']}/{sub['kills']} live failovers, "
+                  f"{sub['gang_restarts_from_failover']} gang restarts, "
+                  f"{sub['recovery_violations']} recovery-bound violations")
+            for rec in sub["records"]:
+                where = f" @{rec['detail']}" if rec["detail"] else ""
+                print(f"    kill {rec['kill']}  t={rec['t_kill']:8.3f}s  "
+                      f"{rec['mode']:14s}{where:28s} recovered in "
+                      f"{rec['recovery_s']:6.2f}s (bound {rec['bound_s']:g}s)")
+        healthy = (
+            report["live_failovers"] == report["kills"]
+            and report["gang_restarts_from_failover"] == 0
+            and report["recovery_violations"] == 0
+            and report["process_failures"] == 0
+        )
+        print("  verdict:", "all kills absorbed by live failover"
+              if healthy else "DEGRADED")
+        return 0 if healthy else 1
 
     print(f"chaos scenario {args.scenario!r} (seed {args.seed}): "
           f"{report['sim_seconds']:g} simulated seconds -> {out}")

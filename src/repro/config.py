@@ -167,6 +167,29 @@ class DmtcpSpec:
     supervisor_poll_s: float = 1.0
     restart_backoff_s: float = 0.5
     restart_backoff_max_s: float = 8.0
+    # -- resilience layer (repro.resilience; active when supervision is
+    # on -- all retry loops share one RetryPolicy built from the
+    # reconnect_* constants above plus these knobs) ----------------------
+    #: Jitter fraction on every backoff delay, seeded per retrying
+    #: identity (host/vpid/purpose) so peers decorrelate while runs stay
+    #: byte-identical per seed.
+    retry_jitter: float = 0.25
+    #: dmtcp_command: bounded retries when the coordinator answers busy
+    #: (honouring its retry-after hint) before giving up with EXIT_BUSY.
+    command_retry_attempts: int = 5
+    #: Respawned coordinator: after a failover interrupted a checkpoint,
+    #: retry it as soon as the pre-crash membership re-registers -- or
+    #: after this fallback timeout if stragglers never return.
+    failover_retry_timeout_s: float = 4.0
+    #: Anti-entropy repair: per-chunk re-replication attempt budget
+    #: before a chunk is parked as unrepairable (a permanently lost rack
+    #: must not spin the repair loop forever).
+    store_repair_attempts: int = 6
+    #: CoordinatorHub admission control: per-tenant inbox bound; command
+    #: admissions beyond it are shed with a retry-after hint.
+    hub_inbox_limit: int = 256
+    #: The retry-after hint a shedding hub returns, seconds.
+    hub_retry_after_s: float = 0.05
     # -- hierarchical coordination (repro.coord.tree; enabled via
     # DmtcpComputation(tree_fanout=N), inert otherwise) -----------------
     #: Gateway arrival-coalescing window: a gateway batches the barrier

@@ -45,6 +45,7 @@ from typing import Iterator, Optional
 from repro.coord.nodeset import NodeSet, RangeSet
 from repro.core import protocol as P
 from repro.errors import SyscallError
+from repro.resilience import RetryPolicy
 from repro.kernel.process import ProgramSpec, RegionSpec
 from repro.kernel.streams import FrameAssembler
 from repro.kernel.syscalls import Sys, connect_retry, recv_frame, send_frame
@@ -189,14 +190,20 @@ def make_gateway_program(tracer=None):
         backoff = float((yield from sys.getenv("DMTCP_GW_BACKOFF")) or 0.25)
         backoff_max = float((yield from sys.getenv("DMTCP_GW_BACKOFF_MAX")) or 4.0)
         attempts = int((yield from sys.getenv("DMTCP_GW_ATTEMPTS")) or 40)
+        jitter = float((yield from sys.getenv("DMTCP_GW_JITTER")) or 0.25)
         recv_timeout = float((yield from sys.getenv("DMTCP_GW_RECV_TIMEOUT")) or 8.0)
+        hostname = yield from sys.gethostname()
         gw = {
             "parent": (parent_host, parent_port),
+            "hostname": hostname,
             "flush_s": flush_s,
             "supervise": supervise,
-            "backoff": backoff,
-            "backoff_max": backoff_max,
-            "attempts": attempts,
+            #: reconnect schedule: the shared resilience policy, seeded
+            #: by this gateway's hostname so sibling gateways orphaned by
+            #: the same coordinator crash decorrelate their retries
+            "policy": RetryPolicy(
+                base_s=backoff, max_s=backoff_max, attempts=attempts, jitter=jitter
+            ),
             #: supervised: cap any single uplink recv so a *silently*
             #: dead parent (no FIN) is detected -- same defence as the
             #: star member's member_recv_timeout_s
@@ -282,7 +289,10 @@ def _gw_downlink(sys: Sys, gw: dict, cfd: int):
         elif kind == P.MSG_GW_HELLO:
             # subtree shape is private: remember, don't forward
             gw["children"][cfd]["gateway"] = True
-        elif kind == P.MSG_HELLO:
+        elif kind == P.MSG_HELLO or kind == P.MSG_REREGISTER:
+            # re-registrations refresh the cached identity frame, so an
+            # upstream replay after a *second* failover carries the
+            # member's freshest generation and checkpoint lineage
             gw["hellos"][(message["host"], message["vpid"])] = {
                 "msg": message,
                 "cfd": cfd,
@@ -467,10 +477,8 @@ def _gw_upstream_lost(sys: Sys, gw: dict, gen: int):
     if not gw["supervise"]:
         yield from sys.exit(0)  # unsupervised: computation is over
     host, port = gw["parent"]
-    delay = gw["backoff"]
-    for _attempt in range(gw["attempts"]):
+    for delay in gw["policy"].delays(gw["hostname"], "gw-reconnect"):
         yield from sys.sleep(delay)
-        delay = min(delay * 2, gw["backoff_max"])
         fd = yield from sys.socket()
         try:
             yield from sys.connect(fd, host, port)
@@ -482,8 +490,13 @@ def _gw_upstream_lost(sys: Sys, gw: dict, gen: int):
             continue
         gw["up_fd"], gw["up_asm"] = fd, FrameAssembler()
         yield from _gw_up_send(sys, gw, P.msg(P.MSG_GW_HELLO))
+        # replay the cached identity frames as re-registrations: the
+        # replacement coordinator rebuilds the subtree's membership
+        # (generation + lineage included) without the members noticing
         for _key, entry in sorted(gw["hellos"].items()):
-            yield from _gw_up_send(sys, gw, entry["msg"])
+            yield from _gw_up_send(
+                sys, gw, dict(entry["msg"], kind=P.MSG_REREGISTER)
+            )
         _gw_count(gw, "coord.gw_reconnects")
         yield from sys.thread_create(_gw_uplink, gw, gw["up_gen"])
         return

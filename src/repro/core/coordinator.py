@@ -161,6 +161,19 @@ class CoordinatorState:
     #: belongs to.  Empty for plain single-tenant computations, so spans,
     #: counters, and barrier tracks are byte-identical to pre-service runs.
     tenant: str = ""
+    #: resilience layer (section 15): a checkpoint that coordinator
+    #: failover interrupted, to be retried once the membership re-forms.
+    #: ``{"expected": member count at crash, "options": ckpt options,
+    #: "deadline": virtual time after which any quorum suffices}`` --
+    #: stamped by the host-side respawn, consumed by
+    #: :func:`_maybe_retry_failover`.
+    failover_retry: Optional[dict] = None
+    #: fallback delay before a failover retry gives up waiting for
+    #: stragglers and fires with whatever membership re-registered.
+    failover_retry_timeout_s: float = 4.0
+    #: retry-after hint attached to busy refusals, honoured by the
+    #: command client's bounded retry loop.
+    busy_retry_after_s: float = 0.5
 
     def barrier_track(self, name: str) -> str:
         """Tracer track for one barrier; tenant-qualified in service mode
@@ -211,11 +224,40 @@ def make_coordinator_program(state: CoordinatorState):
 
 
 def _interval_timer(sys: Sys, state: CoordinatorState):
-    """--interval N: request a checkpoint every N seconds while idle."""
+    """--interval N: request a checkpoint every N seconds while idle.
+
+    Also the failover-retry fallback clock: the timer ticks every second
+    even with no interval configured, so a pending retry whose stragglers
+    never re-register still fires once its deadline passes.
+    """
     while True:
         yield from sys.sleep(state.interval if state.interval > 0 else 1.0)
+        yield from _maybe_retry_failover(sys, state)
         if state.interval > 0 and state.phase == "idle" and state.members:
             yield from _start_checkpoint(sys, state, {})
+
+
+def _maybe_retry_failover(sys: Sys, state: CoordinatorState):
+    """Retry a checkpoint that coordinator failover rolled back.
+
+    The respawned coordinator carries a pending-retry record stamped at
+    respawn time.  The retry fires as soon as the pre-crash membership
+    has fully re-registered -- the common case, within one reconnect
+    backoff -- or, if stragglers never return, once the fallback
+    deadline passes with any members at all.
+    """
+    pending = state.failover_retry
+    if pending is None or state.phase != "idle" or not state.members:
+        return
+    if (
+        state.member_count < pending["expected"]
+        and state.clock() < pending["deadline"]
+    ):
+        return
+    state.failover_retry = None
+    if state.tracer is not None:
+        state.tracer.count("coord.failover_retries", tenant=state.tenant or None)
+    yield from _start_checkpoint(sys, state, pending.get("options", {}))
 
 
 def _watchdog(sys: Sys, state: CoordinatorState):
@@ -351,7 +393,7 @@ def _dispatch_message(sys: Sys, state: CoordinatorState, cfd: int, message: dict
     never diverge.
     """
     kind = message["kind"]
-    if kind == P.MSG_HELLO:
+    if kind == P.MSG_HELLO or kind == P.MSG_REREGISTER:
         # a hello arriving over a gateway connection is a *forwarded*
         # member registration: key it by identity, not by fd
         key = (
@@ -364,9 +406,23 @@ def _dispatch_message(sys: Sys, state: CoordinatorState, cfd: int, message: dict
             "vpid": message["vpid"],
             "program": message["program"],
             "restart": message.get("restart", False),
-            "gen": state.restart_gen,
+            # a re-registration carries the restart generation the member
+            # joined under; a fresh hello joins the current one
+            "gen": message.get("gen", state.restart_gen),
             "via": cfd if cfd in state.gateway_fds else None,
         }
+        if kind == P.MSG_REREGISTER:
+            # rebuild lineage from the members: the respawned coordinator
+            # must never reissue a ckpt_id its predecessor already used
+            state.ckpt_id = max(state.ckpt_id, message.get("ckpt_id", 0))
+            if state.tracer is not None:
+                state.tracer.count(
+                    "coord.reregistrations", tenant=state.tenant or None
+                )
+                if state.supervise:
+                    state.last_progress = state.tracer.clock()
+        # membership re-forming may satisfy a pending failover retry
+        yield from _maybe_retry_failover(sys, state)
     elif kind == P.MSG_GW_HELLO:
         state.gateway_fds.add(cfd)
     elif kind == P.MSG_MEMBER_GONE:
@@ -823,7 +879,14 @@ def _command(sys: Sys, state: CoordinatorState, cfd: int, message: dict):
     cmd = message["cmd"]
     if cmd == "checkpoint":
         if state.phase != "idle":
-            yield from send_frame(sys, cfd, P.msg("busy"), P.CTL_FRAME_BYTES)
+            if state.tracer is not None:
+                state.tracer.count("coord.busy_refusals", tenant=state.tenant or None)
+            yield from send_frame(
+                sys,
+                cfd,
+                P.msg("busy", retry_after=state.busy_retry_after_s),
+                P.CTL_FRAME_BYTES,
+            )
             return
         state.pending_command_fds.append(cfd)
         yield from _start_checkpoint(sys, state, message.get("options", {}))
@@ -855,36 +918,131 @@ def _command(sys: Sys, state: CoordinatorState, cfd: int, message: dict):
 #: rejects the done-future first), so the exit code carries the verdict.
 EXIT_BUSY = 3
 EXIT_ABORTED = 4
+#: Supervised mode: the reply deadline expired on every bounded attempt.
+EXIT_DEADLINE = 5
 
 
-def dmtcp_command_main(sys: Sys, argv):
-    """The `dmtcp command <cmd>` client (Section 3)."""
-    cmd = argv[1]
-    host = yield from sys.getenv("DMTCP_COORD_HOST")
-    port = int((yield from sys.getenv("DMTCP_COORD_PORT")))
-    fd = yield from sys.socket()
-    from repro.kernel.syscalls import connect_retry
+def make_dmtcp_command_program(tracer=None):
+    """Build the `dmtcp command <cmd>` client (Section 3).
 
-    yield from connect_retry(sys, fd, host, port)
-    options = {}
-    if "--kill" in argv:
-        options["kill"] = True
-    if "--forked" in argv:
-        options["forked"] = True
-    command = P.msg(P.MSG_COMMAND, cmd=cmd, options=options, arg=argv[-1])
-    # service mode: the first message on a hub connection binds it to a
-    # tenant; single-tenant frames stay byte-for-byte what they were
-    tenant = yield from sys.getenv("DMTCP_TENANT")
-    if tenant:
-        command["tenant"] = tenant
-    yield from send_frame(sys, fd, command, P.CTL_FRAME_BYTES)
-    asm = FrameAssembler()
-    reply = yield from recv_frame(sys, fd, asm)
-    yield from sys.close(fd)
-    body = reply[0] if reply else None
-    kind = body.get("kind") if isinstance(body, dict) else None
-    if kind == "busy":
-        yield from sys.exit(EXIT_BUSY)
-    elif kind == "aborted":
-        yield from sys.exit(EXIT_ABORTED)
-    return body
+    ``tracer`` is the world tracer for host-side counters only (deadline
+    expiries, busy retries); it never charges simulated time, so the
+    unsupervised frame stream is byte-identical to the plain client.
+
+    Supervised mode adds the resilience layer's RPC discipline: every
+    reply recv is capped by ``DMTCP_RPC_DEADLINE`` and a busy refusal is
+    retried up to ``DMTCP_CMD_RETRIES`` times, honouring the
+    coordinator's ``retry_after`` hint with seeded jitter -- the same
+    :class:`repro.resilience.RetryPolicy` shape every other coordinator
+    round-trip uses.
+    """
+    from repro.resilience import RetryPolicy
+
+    def _count(name: str, value: float = 1) -> None:
+        if tracer is not None:
+            tracer.count(name, value)
+
+    def dmtcp_command_main(sys: Sys, argv):
+        cmd = argv[1]
+        host = yield from sys.getenv("DMTCP_COORD_HOST")
+        port = int((yield from sys.getenv("DMTCP_COORD_PORT")))
+        supervise = (yield from sys.getenv("DMTCP_SUPERVISE")) == "1"
+        deadline_env = yield from sys.getenv("DMTCP_RPC_DEADLINE")
+        deadline = float(deadline_env) if deadline_env else 8.0
+        # busy-retry is opt-in (DMTCP_CMD_RETRIES > 1): a refused duplicate
+        # request is the *correct* answer for plain computations, and the
+        # service scheduler owns its own retry schedule -- only callers
+        # that explicitly want client-side persistence enable it
+        retries = int((yield from sys.getenv("DMTCP_CMD_RETRIES")) or 1)
+        jitter = float((yield from sys.getenv("DMTCP_RETRY_JITTER")) or 0.25)
+        me = yield from sys.gethostname()
+        from repro.kernel.syscalls import connect_retry
+
+        options = {}
+        if "--kill" in argv:
+            options["kill"] = True
+        if "--forked" in argv:
+            options["forked"] = True
+        command = P.msg(P.MSG_COMMAND, cmd=cmd, options=options, arg=argv[-1])
+        # service mode: the first message on a hub connection binds it to
+        # a tenant; single-tenant frames stay byte-for-byte what they were
+        tenant = yield from sys.getenv("DMTCP_TENANT")
+        if tenant:
+            command["tenant"] = tenant
+        policy = RetryPolicy(
+            base_s=0.05, max_s=1.0, attempts=max(1, retries),
+            jitter=jitter, deadline_s=deadline,
+        )
+        backoff = policy.delays(me, tenant or "-", cmd)
+        body = None
+        for attempt in range(policy.attempts):
+            fd = yield from sys.socket()
+            yield from connect_retry(sys, fd, host, port)
+            yield from send_frame(sys, fd, command, P.CTL_FRAME_BYTES)
+            asm = FrameAssembler()
+            reply = None
+            while True:
+                try:
+                    reply = yield from recv_frame(
+                        sys, fd, asm, timeout=deadline if supervise else None
+                    )
+                except SyscallError as err:
+                    if err.errno != "ETIMEDOUT":
+                        raise
+                    # deadline expired with no reply.  A checkpoint's
+                    # reply legitimately takes longer than one RPC
+                    # deadline, so the deadline bounds *dead-coordinator
+                    # detection*, not checkpoint duration: probe the
+                    # socket -- a live coordinator absorbs the ping and
+                    # we keep waiting, a dead one fails the send.
+                    _count("resilience.deadline_expired")
+                    if cmd == "checkpoint":
+                        try:
+                            yield from send_frame(
+                                sys, fd, P.msg(P.MSG_PING), P.CTL_FRAME_BYTES
+                            )
+                            continue
+                        except SyscallError:
+                            # coordinator gone: do NOT blind-resend a
+                            # checkpoint -- the coordinator-side failover
+                            # retry owns completion; give up loudly
+                            yield from sys.close(fd)
+                            yield from sys.exit(EXIT_DEADLINE)
+                    # idempotent queries retry on the policy schedule
+                    yield from sys.close(fd)
+                    if attempt + 1 >= policy.attempts:
+                        yield from sys.exit(EXIT_DEADLINE)
+                    yield from sys.sleep(next(backoff))
+                    reply = "retry"
+                break
+            if reply == "retry":
+                continue
+            yield from sys.close(fd)
+            body = reply[0] if reply else None
+            kind = body.get("kind") if isinstance(body, dict) else None
+            if kind == "busy":
+                if attempt + 1 >= policy.attempts:
+                    break  # budget spent: surface EXIT_BUSY below
+                # bounded retry, honouring the retry-after hint (plus the
+                # seeded policy delay so herded clients decorrelate)
+                _count("resilience.busy_bounces")
+                yield from sys.sleep(
+                    float(body.get("retry_after", 0.0)) + next(backoff)
+                )
+                continue
+            if kind == "aborted":
+                yield from sys.exit(EXIT_ABORTED)
+            return body
+        kind = body.get("kind") if isinstance(body, dict) else None
+        if kind == "busy":
+            if policy.attempts > 1:
+                _count("resilience.retries_exhausted")
+            yield from sys.exit(EXIT_BUSY)
+        yield from sys.exit(EXIT_DEADLINE)
+
+    return dmtcp_command_main
+
+
+#: Back-compat plain client (no tracer): what launch.py registered before
+#: the resilience layer existed; tests import it by this name.
+dmtcp_command_main = make_dmtcp_command_program(None)

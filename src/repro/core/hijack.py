@@ -62,6 +62,11 @@ class DmtcpRuntime:
         #: Count of checkpoints this process has participated in.
         self.checkpoints_done = 0
         self.restarts_done = 0
+        #: Checkpoint lineage: the newest ckpt_id this process completed
+        #: (written or restored from).  Carried in MSG_REREGISTER after a
+        #: coordinator failover so the replacement rebuilds its id space
+        #: from the members (resilience layer, DESIGN.md section 15).
+        self.last_ckpt_id = 0
         #: Incremental checkpointing: path of this process's newest image
         #: (the parent of the next delta) and how many deltas the current
         #: chain already holds.  Reset on exec (new address space) and on

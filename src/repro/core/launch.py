@@ -21,8 +21,8 @@ from repro.core.coordinator import (
     CheckpointOutcome,
     CoordinatorState,
     RestartOutcome,
-    dmtcp_command_main,
     make_coordinator_program,
+    make_dmtcp_command_program,
 )
 from repro.core.hijack import DmtcpRuntime, WrappedSys
 from repro.core.manager import manager_main
@@ -161,6 +161,7 @@ class DmtcpComputation:
             self.state.supervise = True
             self.state.barrier_timeout_s = dspec.barrier_timeout_s
             self.state.heartbeat_interval_s = dspec.heartbeat_interval_s
+            self.state.failover_retry_timeout_s = dspec.failover_retry_timeout_s
         #: content-addressed checkpoint image store (repro.store): chunk
         #: dedup across ranks/generations, k-way replication, anti-entropy
         #: repair, streaming restart from the nearest live replica
@@ -246,6 +247,7 @@ class DmtcpComputation:
                 "DMTCP_GW_BACKOFF_MAX": str(spec.reconnect_backoff_max_s),
                 "DMTCP_GW_ATTEMPTS": str(spec.reconnect_attempts),
                 "DMTCP_GW_RECV_TIMEOUT": str(spec.member_recv_timeout_s),
+                "DMTCP_GW_JITTER": str(spec.retry_jitter),
             }
             if self.supervise:
                 env["DMTCP_SUPERVISE"] = "1"
@@ -280,7 +282,9 @@ class DmtcpComputation:
                 make_coordinator_program(self.state),
                 _COORD_SPEC,
             )
-        self.world.register_program("dmtcp_command", dmtcp_command_main, _UTIL_SPEC)
+        self.world.register_program(
+            "dmtcp_command", make_dmtcp_command_program(self.world.tracer), _UTIL_SPEC
+        )
         self.world.register_program(
             self._restart_program, make_restart_program(self), _UTIL_SPEC
         )
@@ -306,6 +310,11 @@ class DmtcpComputation:
         if self.supervise:
             env["DMTCP_SUPERVISE"] = "1"
             env["DMTCP_ATOMIC_IMAGES"] = "1"
+            # resilience layer: one RPC deadline + jitter fraction for
+            # every coordinator round-trip made by this computation
+            dspec = self.world.spec.dmtcp
+            env["DMTCP_RPC_DEADLINE"] = str(dspec.member_recv_timeout_s)
+            env["DMTCP_RETRY_JITTER"] = str(dspec.retry_jitter)
         if self.tenant:
             env["DMTCP_TENANT"] = self.tenant
         return env
@@ -537,6 +546,20 @@ class DmtcpComputation:
             )
         state = self.state
         tracer = state.tracer
+        # resilience layer (section 15): a checkpoint in flight when the
+        # coordinator died is rolled back by the members' own recv
+        # timeouts; stamp a pending-retry record so the replacement
+        # coordinator re-runs it once the membership re-registers.  A
+        # mid-flight *restart* needs no stamp -- its restarters exit(1)
+        # and the AutoRestartSupervisor's stall retry re-drives them.
+        if state.supervise and state.phase == "checkpoint":
+            state.failover_retry = {
+                "expected": state.member_count,
+                "options": dict(state.ckpt_options),
+                "deadline": state.clock() + state.failover_retry_timeout_s,
+            }
+            if tracer is not None:
+                tracer.count("coord.failover_interrupted_ckpts")
         # close any barrier spans left open by the crash mid-checkpoint
         for name in list(state.barrier_open):
             state.barrier_open.pop(name)

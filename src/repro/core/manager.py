@@ -189,10 +189,19 @@ def manager_main(runtime: "DmtcpRuntime", restart_image: Optional[CheckpointImag
 def _reconnect_coordinator(sys: Sys, runtime: "DmtcpRuntime"):
     """Supervised mode: the coordinator died; wait for its replacement.
 
-    Retries with exponential backoff until a new coordinator accepts the
-    connection, then re-registers with a fresh HELLO.  Returns the new
-    (fd, assembler) pair, or None when every attempt failed.
+    Retries on the shared :class:`repro.resilience.RetryPolicy` schedule
+    -- capped exponential backoff with jitter seeded by this member's
+    identity, so a large gang of orphaned managers neither stampedes the
+    fresh coordinator in lockstep nor replays differently across
+    same-seed runs.  On success the member re-registers with
+    MSG_REREGISTER carrying its restart generation and checkpoint
+    lineage, letting the stateless replacement rebuild membership and id
+    space purely from its members (DESIGN.md section 15).  Returns the
+    new (fd, assembler) pair, or None when every attempt failed -- the
+    terminal give-up also lands in the world's FailureLog.
     """
+    from repro.resilience import log_retry_exhausted, policy_from_spec
+
     process = runtime.process
     env = process.env
     spec = runtime.world.spec.dmtcp
@@ -209,10 +218,9 @@ def _reconnect_coordinator(sys: Sys, runtime: "DmtcpRuntime"):
             yield from sys.close(old_fd)
         except SyscallError:
             pass
-    delay = spec.reconnect_backoff_s
-    for _attempt in range(spec.reconnect_attempts):
+    policy = policy_from_spec(spec)
+    for delay in policy.delays(process.node.hostname, runtime.vpid, "reconnect"):
         yield from sys.sleep(delay)
-        delay = min(delay * 2, spec.reconnect_backoff_max_s)
         fd = yield from sys.socket()
         try:
             yield from sys.connect(fd, host, port)
@@ -225,21 +233,29 @@ def _reconnect_coordinator(sys: Sys, runtime: "DmtcpRuntime"):
         yield from sys.fcntl(fd, "F_SETFD_CLOEXEC", 1)
         runtime.coord_fd = fd
         asm = FrameAssembler()
-        hello = P.msg(
-            P.MSG_HELLO,
+        reregister = P.msg(
+            P.MSG_REREGISTER,
             host=process.node.hostname,
             vpid=runtime.vpid,
             program=process.program,
             restart=False,
+            gen=runtime.restarts_done,
+            ckpt_id=runtime.last_ckpt_id,
         )
         tenant = env.get("DMTCP_TENANT")
         if tenant:
-            hello["tenant"] = tenant
-        yield from coord_send(sys, fd, hello)
+            reregister["tenant"] = tenant
+        yield from coord_send(sys, fd, reregister)
         runtime.world.tracer.count(
             "dmtcp.coordinator_reconnects", tenant=tenant or None
         )
         return fd, asm
+    log_retry_exhausted(
+        runtime.world,
+        "coordinator-reconnect",
+        f"{process.program}[{runtime.vpid}]",
+        hostname=process.node.hostname,
+    )
     return None
 
 
@@ -439,6 +455,7 @@ def _checkpoint_stages(
         yield from sys.resume_threads()
     runtime.in_checkpoint = False
     runtime.checkpoints_done += 1
+    runtime.last_ckpt_id = ckpt_id
     tracer.count("dmtcp.checkpoints_done", tenant=process.env.get("DMTCP_TENANT") or None)
     _fire_hook(runtime, "post-checkpoint", ckpt_id=ckpt_id)
 
@@ -538,6 +555,7 @@ def _rejoin_after_restart(sys: Sys, runtime: "DmtcpRuntime", fd: int, asm: Frame
         sys, fd, P.msg(P.MSG_CKPT_DONE, record=record, image_path=None, host=runtime.process.node.hostname, restart=True)
     )
     runtime.restarts_done += 1
+    runtime.last_ckpt_id = image.ckpt_id
     tracer.count("dmtcp.restarts_done", tenant=tenant)
     _fire_hook(runtime, "post-restart", ckpt_id=image.ckpt_id)
 

@@ -444,6 +444,72 @@ def write_image(sys: Sys, runtime: "DmtcpRuntime", image: CheckpointImage, path:
         )
 
 
+def _store_rpc(sys: Sys, runtime: "DmtcpRuntime", image: CheckpointImage, request: dict, frame_bytes: int, expect: str, purpose: str):
+    """One writer -> coordinator store round-trip with deadline + retry.
+
+    Both store verbs are idempotent on the coordinator (``lease``
+    recomputes what is missing; ``commit`` re-marks digests), so a
+    round-trip that times out -- coordinator busy, dying, or freshly
+    respawned -- is simply retried on a fresh connection, paced by the
+    shared :class:`repro.resilience.RetryPolicy`.  Every expiry bumps the
+    ``resilience.deadline_expired`` counter; only terminal exhaustion
+    lands in the FailureLog and re-raises (the checkpoint's normal
+    abort/rollback machinery then owns recovery).
+
+    Returns the reply dict.  Each attempt opens its own connection; a
+    ``goodbye`` closes it even on the happy path so the coordinator's
+    connection table never accumulates writer sockets.
+    """
+    from repro.resilience import log_retry_exhausted, policy_from_spec
+
+    world = runtime.world
+    env = runtime.process.env
+    supervise = env.get("DMTCP_SUPERVISE", "0") == "1"
+    timeout = world.spec.dmtcp.member_recv_timeout_s if supervise else None
+    attempts = world.spec.dmtcp.command_retry_attempts if supervise else 1
+    backoff = policy_from_spec(world.spec.dmtcp).delays(
+        image.hostname, image.vpid, purpose
+    )
+    last_err: SyscallError = SyscallError("EIO", f"{purpose} never attempted")
+    for attempt in range(attempts):
+        fd = yield from sys.socket()
+        try:
+            yield from sys.connect(
+                fd, env["DMTCP_COORD_HOST"], int(env["DMTCP_COORD_PORT"])
+            )
+            yield from send_frame(sys, fd, request, frame_bytes)
+            assembler = FrameAssembler()
+            result = yield from recv_frame(sys, fd, assembler, timeout=timeout)
+            reply = result[0] if result else None
+            if not isinstance(reply, dict) or reply.get("kind") != expect:
+                raise SyscallError("EPROTO", f"unexpected {purpose} reply {reply!r}")
+            try:
+                yield from send_frame(sys, fd, P.msg(P.MSG_GOODBYE), P.CTL_FRAME_BYTES)
+                yield from sys.close(fd)
+            except SyscallError:
+                pass
+            return reply
+        except SyscallError as err:
+            try:
+                yield from sys.close(fd)
+            except SyscallError:
+                pass
+            if err.errno == "EPROTO":
+                raise  # protocol bug, not a liveness problem: no retry
+            last_err = err
+            if err.errno == "ETIMEDOUT":
+                world.tracer.count("resilience.deadline_expired")
+            if attempt + 1 < attempts:
+                yield from sys.sleep(next(backoff))
+    log_retry_exhausted(
+        world,
+        purpose,
+        f"{image.program}[{image.vpid}] ckpt {image.ckpt_id}",
+        hostname=image.hostname,
+    )
+    raise last_err
+
+
 def _write_image_store(sys: Sys, runtime: "DmtcpRuntime", image: CheckpointImage, path: str, store):
     """Stage 5, store mode: dedup against the cluster store, push unique bytes.
 
@@ -466,18 +532,10 @@ def _write_image_store(sys: Sys, runtime: "DmtcpRuntime", image: CheckpointImage
         for digest, nbytes, profile in refs:
             est = _chunk_estimate(world, digest, nbytes, profile, image.compressed)
             wire.append([digest, nbytes, profile, est.output_bytes])
-        timeout = (
-            world.spec.dmtcp.member_recv_timeout_s
-            if env.get("DMTCP_SUPERVISE", "0") == "1"
-            else None
-        )
-        fd = yield from sys.socket()
-        yield from sys.connect(
-            fd, env["DMTCP_COORD_HOST"], int(env["DMTCP_COORD_PORT"])
-        )
-        yield from send_frame(
+        reply = yield from _store_rpc(
             sys,
-            fd,
+            runtime,
+            image,
             P.msg(
                 P.MSG_STORE_MANIFEST,
                 ckpt_id=image.ckpt_id,
@@ -486,12 +544,9 @@ def _write_image_store(sys: Sys, runtime: "DmtcpRuntime", image: CheckpointImage
                 refs=wire,
             ),
             64 + P.STORE_REF_BYTES * max(len(wire), 1),
+            P.MSG_STORE_LEASE,
+            "store-lease",
         )
-        assembler = FrameAssembler()
-        result = yield from recv_frame(sys, fd, assembler, timeout=timeout)
-        reply = result[0] if result else None
-        if not isinstance(reply, dict) or reply.get("kind") != P.MSG_STORE_LEASE:
-            raise SyscallError("EPROTO", f"unexpected store reply {reply!r}")
         need = reply["need"]
         # Compress only the leased chunks -- independent streams, LPT over
         # the image's gzip workers.
@@ -563,18 +618,15 @@ def _write_image_store(sys: Sys, runtime: "DmtcpRuntime", image: CheckpointImage
             yield from sys.write(ifd, mbytes, payload=image)
             yield from sys.close(ifd)
         digests = [wire[index][0] for index, _target in need]
-        yield from send_frame(
+        yield from _store_rpc(
             sys,
-            fd,
+            runtime,
+            image,
             P.msg(P.MSG_STORE_COMMIT, host=image.hostname, digests=digests),
             64 + 16 * max(len(digests), 1),
+            P.MSG_STORE_OK,
+            "store-commit",
         )
-        result = yield from recv_frame(sys, fd, assembler, timeout=timeout)
-        reply = result[0] if result else None
-        if not isinstance(reply, dict) or reply.get("kind") != P.MSG_STORE_OK:
-            raise SyscallError("EPROTO", f"unexpected commit reply {reply!r}")
-        yield from send_frame(sys, fd, P.msg(P.MSG_GOODBYE), P.CTL_FRAME_BYTES)
-        yield from sys.close(fd)
     except SyscallError:
         tracer.end(track, "mtcp.write", cat="mtcp")
         raise

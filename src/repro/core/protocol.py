@@ -38,6 +38,13 @@ MSG_CKPT_DONE = "ckpt-done"  # {stats}
 MSG_GOODBYE = "goodbye"
 MSG_CKPT_FAILED = "ckpt-failed"  # {reason} -- member hit ENOSPC/abort locally
 
+# manager/gateway -> respawned coordinator (resilience layer, section 15):
+# like hello, but carries the member's restart generation and checkpoint
+# lineage so a fresh CoordinatorState can rebuild membership -- and decide
+# whether an interrupted checkpoint must be retried -- purely from its
+# members, the paper's "coordinator is stateless" property made load-bearing.
+MSG_REREGISTER = "reregister"  # {host, pid, vpid, program, gen, ckpt_id}
+
 # coordinator -> manager
 MSG_CHECKPOINT = "do-checkpoint"  # {ckpt_id, forked}
 MSG_BARRIER_RELEASE = "barrier-release"  # {name}

@@ -131,8 +131,33 @@ class FaultInjector:
         elif event.kind == "kill-coordinator":
             comp = self.computation
             if comp is not None and comp.coordinator_process.alive:
-                world.crash_process(comp.coordinator_process)
+                # the host kernel survives a coordinator crash and resets
+                # its connections, so members see EOF promptly instead of
+                # waiting out their recv deadline
+                world.crash_process(comp.coordinator_process, reset_peers=True)
                 detail = "coordinator crashed"
+        elif event.kind == "delay-coord-frames":
+            # hold the coordinator<->target path: frames are parked by
+            # the fabric and re-delivered at heal time (TCP-retransmit
+            # shape: delayed, never lost) -- exercises RPC deadlines and
+            # liveness probes without any death
+            comp = self.computation
+            if comp is not None:
+                coord_host = comp.coordinator_host
+                hold = event.duration or 1.0
+                network.partition(coord_host, event.target)
+                world.engine.call_after(
+                    hold, network.heal, coord_host, event.target
+                )
+                detail = f"held for {hold:g}s"
+        elif event.kind == "drop-coord-frames":
+            # reset the established coordinator<->target streams:
+            # in-flight frames are lost with no FIN, both ends rediscover
+            # each other through reconnect + re-registration
+            comp = self.computation
+            if comp is not None:
+                n = world.reset_connections(comp.coordinator_host, event.target)
+                detail = f"{n} streams reset"
         elif event.kind == "crash-gateway":
             comp = self.computation
             gateway = (
@@ -141,7 +166,7 @@ class FaultInjector:
                 else None
             )
             if gateway is not None and gateway.alive:
-                world.crash_process(gateway)
+                world.crash_process(gateway, reset_peers=True)
                 detail = f"gateway on {event.target} crashed"
         tracer = world.tracer
         if tracer.enabled:

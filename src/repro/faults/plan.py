@@ -23,6 +23,8 @@ FAULT_KINDS = (
     "slow-host",  # CPU-hog processes steal the target's cores for `duration`
     "kill-coordinator",  # crash the coordinator process itself
     "crash-gateway",  # crash the target host's coordination-tree gateway
+    "delay-coord-frames",  # hold coordinator<->target traffic for `duration`
+    "drop-coord-frames",  # reset established coordinator<->target streams
 )
 
 

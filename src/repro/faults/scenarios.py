@@ -19,7 +19,7 @@ from repro.faults.plan import FaultEvent, FaultPlan
 from repro.faults.supervisor import AutoRestartSupervisor, find_newest_valid_plan
 from repro.sim.rng import RandomStreams
 
-__all__ = ["SCENARIOS", "run_chaos", "run_mtbf"]
+__all__ = ["SCENARIOS", "run_chaos", "run_mtbf", "run_coordinator_mtbf"]
 
 #: workers live here; node00 is the coordinator's
 _WORKER_HOSTS = ("node01", "node02")
@@ -73,12 +73,14 @@ def _chaos_apps(world) -> None:
     world.register_program("chaos_client", client_main)
 
 
-def _build(seed: int, interval: float):
+def _build(seed: int, interval: float, tree_fanout: Optional[int] = None):
     """Supervised 3-node cluster: coordinator + resilient worker pair."""
     world = build_cluster(n_nodes=3, seed=seed)
     world.tracer.enable()  # counters (aborts, reconnects) feed the report
     _chaos_apps(world)
-    comp = DmtcpComputation(world, interval=interval, supervise=True)
+    comp = DmtcpComputation(
+        world, interval=interval, supervise=True, tree_fanout=tree_fanout
+    )
     comp.launch(_WORKER_HOSTS[0], "chaos_server")
     comp.launch(_WORKER_HOSTS[1], "chaos_client")
     sup = AutoRestartSupervisor(world, comp, expected=2)
@@ -184,10 +186,18 @@ def _scenario_coordinator(seed: int, quick: bool) -> dict:
 
 
 def _scenario_mtbf(seed: int, quick: bool) -> dict:
-    """The acceptance sweep at its default operating point."""
+    """The acceptance sweep at its default operating point.
+
+    The report also embeds the coordinator-kill failover sweep, so the
+    canonical ``BENCH_faults.json`` carries both robustness gates: node
+    crashes bound lost work, coordinator crashes stay live failovers.
+    """
     if quick:
-        return run_mtbf(seed, crashes=5, interval_s=10.0, mtbf_s=30.0)
-    return run_mtbf(seed, crashes=20, interval_s=50.0, mtbf_s=150.0)
+        report = run_mtbf(seed, crashes=5, interval_s=10.0, mtbf_s=30.0)
+    else:
+        report = run_mtbf(seed, crashes=20, interval_s=50.0, mtbf_s=150.0)
+    report["coordinator_failover"] = _scenario_coordinator_mtbf(seed, quick)
+    return report
 
 
 def run_mtbf(
@@ -242,12 +252,208 @@ def run_mtbf(
     )
 
 
+def _scenario_coordinator_mtbf(seed: int, quick: bool) -> dict:
+    """The resilience acceptance sweep: seeded coordinator kills across
+    idle windows, mid-checkpoint barrier phases, and mid-restart, on
+    both the star and the propagation-tree topology."""
+    kills = 3 if quick else 10
+    star = run_coordinator_mtbf(seed, kills=kills, interval_s=5.0, mtbf_s=4.0)
+    tree = run_coordinator_mtbf(
+        seed, kills=kills, interval_s=5.0, mtbf_s=4.0, tree_fanout=2
+    )
+    return {
+        "scenario": "coordinator-mtbf",
+        "seed": seed,
+        "kills": star["kills"] + tree["kills"],
+        "live_failovers": star["live_failovers"] + tree["live_failovers"],
+        "gang_restarts_from_failover": (
+            star["gang_restarts_from_failover"]
+            + tree["gang_restarts_from_failover"]
+        ),
+        "recovery_violations": (
+            star["recovery_violations"] + tree["recovery_violations"]
+        ),
+        "process_failures": star["process_failures"] + tree["process_failures"],
+        "star": star,
+        "tree": tree,
+    }
+
+
+def run_coordinator_mtbf(
+    seed: int,
+    kills: int,
+    interval_s: float,
+    mtbf_s: float,
+    tree_fanout: Optional[int] = None,
+) -> dict:
+    """Survive ``kills`` seeded coordinator deaths without gang-restarts.
+
+    Each kill strikes in one of three seeded modes:
+
+    * ``idle`` -- a timed kill between checkpoints (exponential gap,
+      mean ``mtbf_s``): the members' heartbeats notice the dead channel,
+      reconnect with jittered backoff, and re-register.
+    * ``mid-checkpoint`` -- phase-triggered on a seeded barrier span:
+      the in-flight checkpoint dies with the coordinator, the members'
+      timeouts roll it back, and the respawned coordinator retries it
+      once the pre-crash membership re-registers.
+    * ``mid-restart`` -- a worker node crash first forces a gang
+      restart, then the coordinator is killed at the restart barrier;
+      the supervisor's stall-retry re-drives the restart against the
+      respawned coordinator.
+
+    Gates recorded per run: every kill is a live failover (exactly one
+    respawn, members back without a gang restart -- mid-restart kills
+    excepted, where the restart was already under way), and recovery (a
+    fresh complete checkpoint) lands within the derived bound.
+    """
+    from repro.core import protocol as P
+
+    world, comp, sup = _build(seed, interval_s, tree_fanout=tree_fanout)
+    inj = FaultInjector(world, comp)
+    stream = "chaos-coord-mtbf" + ("-tree" if tree_fanout else "")
+    rng = RandomStreams(seed).stream(stream)
+    engine = world.engine
+    spec = world.spec.dmtcp
+    #: failover recovery: reconnect backoff + the retried checkpoint (or
+    #: the next interval tick) + one barrier round
+    failover_bound = interval_s + spec.barrier_timeout_s + spec.failover_retry_timeout_s
+    #: mid-restart recovery additionally rides the supervisor's
+    #: stall-retry of the interrupted gang restart
+    restart_bound = failover_bound + sup.stall_timeout_s + spec.restart_backoff_max_s
+    barriers = [
+        P.BARRIER_SUSPENDED,
+        P.BARRIER_ELECTED,
+        P.BARRIER_DRAINED,
+        P.BARRIER_CHECKPOINTED,
+        P.BARRIER_REFILLED,
+    ]
+    modes = ["idle", "mid-checkpoint", "mid-restart"]
+    records: list[dict] = []
+    gang_restarts_from_failover = 0
+    live_failovers = 0
+    recovery_violations = 0
+    ckpt_floor = 0.0
+
+    def fresh_checkpoint() -> bool:
+        done = _complete_checkpoints(comp)
+        return bool(done) and done[-1].finished_at >= ckpt_floor
+
+    def bounded_wait(predicate, horizon_s: float) -> bool:
+        """Step the engine until ``predicate`` or the horizon: a wedged
+        recovery surfaces as a gate violation, never a hung sweep."""
+        deadline = engine.now + horizon_s
+        while not predicate() and engine.now < deadline:
+            engine.run(until=min(engine.now + 1.0, deadline))
+        return predicate()
+
+    for n in range(kills):
+        bounded_wait(fresh_checkpoint, 240.0)
+        mode = modes[int(rng.integers(len(modes)))]
+        respawns0 = sup.stats["coordinator_respawns"]
+        restarts0 = sup.stats["restarts"]
+        recoveries0 = sup.stats["recoveries"]
+        detail = ""
+        if mode == "idle":
+            gap = min(float(rng.exponential(mtbf_s)), 3.0 * mtbf_s)
+            t_kill = engine.now + gap
+            inj.arm(FaultPlan.schedule([FaultEvent("kill-coordinator", at=t_kill)]))
+        elif mode == "mid-checkpoint":
+            barrier = barriers[int(rng.integers(len(barriers)))]
+            detail = barrier
+            inj.arm(
+                FaultPlan.schedule(
+                    [FaultEvent("kill-coordinator", phase=f"coordinator/barrier:{barrier}")]
+                )
+            )
+        else:  # mid-restart
+            detail = "restart-" + P.BARRIER_CHECKPOINTED
+            # arm the restart-phase kill first, then crash a worker: the
+            # supervisor's gang restart opens the restart barrier, which
+            # fires the kill
+            inj.arm(
+                FaultPlan.schedule(
+                    [FaultEvent(
+                        "kill-coordinator",
+                        phase=f"coordinator/barrier:restart-{P.BARRIER_CHECKPOINTED}",
+                    )]
+                )
+            )
+            target = _WORKER_HOSTS[int(rng.integers(len(_WORKER_HOSTS)))]
+            t_crash = engine.now + 0.5
+            inj.arm(
+                FaultPlan.schedule(
+                    [FaultEvent("crash-node", target=target, at=t_crash)]
+                )
+            )
+        # the coordinator dies exactly once per iteration; wait for the
+        # supervisor to respawn it...
+        bounded_wait(
+            lambda: sup.stats["coordinator_respawns"] > respawns0, 120.0
+        )
+        t_kill = next(
+            (e["t"] for e in reversed(inj.log) if e["kind"] == "kill-coordinator"),
+            engine.now,
+        )
+        if mode == "mid-restart":
+            # ...and for the stall-retried gang restart to land
+            bounded_wait(lambda: sup.stats["recoveries"] > recoveries0, 240.0)
+        # ...then for a fresh complete checkpoint past the kill
+        ckpt_floor = t_kill
+        bounded_wait(fresh_checkpoint, 240.0)
+        recovery_s = round(engine.now - t_kill, 6)
+        bound = restart_bound if mode == "mid-restart" else failover_bound
+        failover = sup.stats["coordinator_respawns"] == respawns0 + 1
+        extra_restarts = sup.stats["restarts"] - restarts0
+        if mode != "mid-restart":
+            gang_restarts_from_failover += extra_restarts
+        live_failovers += int(failover)
+        if recovery_s > bound:
+            recovery_violations += 1
+        records.append(
+            {
+                "kill": n,
+                "mode": mode,
+                "detail": detail,
+                "t_kill": round(t_kill, 6),
+                "recovery_s": recovery_s,
+                "bound_s": round(bound, 6),
+                "live_failover": failover,
+                "gang_restarts": extra_restarts,
+            }
+        )
+        ckpt_floor = engine.now
+    engine.run(until=engine.now + interval_s)  # settle: one clean interval
+    sup.stop()
+    snapshot = world.tracer.snapshot()
+    base = _report(
+        "coordinator-mtbf" + ("-tree" if tree_fanout else "-star"),
+        seed, world, comp, sup, inj,
+        extra={
+            "topology": f"tree(fanout={tree_fanout})" if tree_fanout else "star",
+            "interval_s": interval_s,
+            "mtbf_s": mtbf_s,
+            "kills": kills,
+            "live_failovers": live_failovers,
+            "gang_restarts_from_failover": gang_restarts_from_failover,
+            "recovery_violations": recovery_violations,
+            "failover_retries": int(snapshot.get("coord.failover_retries", 0)),
+            "reregistrations": int(snapshot.get("coord.reregistrations", 0)),
+            "reconnects": int(snapshot.get("dmtcp.coordinator_reconnects", 0)),
+            "gw_reconnects": int(snapshot.get("coord.gw_reconnects", 0)),
+            "records": records,
+        },
+    )
+    return base
+
+
 SCENARIOS: dict[str, Callable[[int, bool], dict]] = {
     "crash": _scenario_crash,
     "partition": _scenario_partition,
     "enospc": _scenario_enospc,
     "coordinator": _scenario_coordinator,
     "mtbf": _scenario_mtbf,
+    "coordinator-mtbf": _scenario_coordinator_mtbf,
 }
 
 

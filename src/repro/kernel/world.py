@@ -499,7 +499,7 @@ class World:
     # ------------------------------------------------------------------
     # Crash semantics (fault injection)
     # ------------------------------------------------------------------
-    def crash_process(self, process: Process) -> None:
+    def crash_process(self, process: Process, *, reset_peers: bool = False) -> None:
         """Silent vanish: the process dies without closing anything.
 
         Unlike :meth:`terminate_process`, no FIN reaches the peers: their
@@ -507,6 +507,12 @@ class World:
         exact failure mode a kernel panic or power loss produces, and the
         deadlock the supervision layer exists to break.  No SIGCHLD is
         delivered (the parent may itself be gone).
+
+        With ``reset_peers=True`` the host kernel is assumed to survive
+        the crash and reset the dead process's connections, so blocked
+        peers wake to EOF immediately instead of hanging until their recv
+        deadline -- the failure mode of an infrastructure process (the
+        coordinator, a tree gateway) dying on an otherwise healthy host.
         """
         if process.state == "dead":
             return
@@ -531,7 +537,14 @@ class World:
                 desc.refcount -= 1  # a surviving sharer keeps it open
             else:
                 desc.refcount = 0
+                peer = (
+                    desc.peer
+                    if reset_peers and isinstance(desc, SocketEndpoint)
+                    else None
+                )
                 self._vanish_description(desc)
+                if peer is not None:
+                    self._vanish_description(peer)
         for child in process.children:
             child.parent = None
         if not process.exited.done:
@@ -553,6 +566,35 @@ class World:
             for ep in desc.backlog:
                 ep.closed = True
             desc.backlog.clear()
+
+    def reset_connections(self, a: str, b: str) -> int:
+        """Abort every established stream between hosts ``a`` and ``b``.
+
+        Models a dropped-frame storm / middlebox reset: in-flight bytes
+        are lost and no FIN is exchanged -- both sides are vanished, so
+        each blocked reader wakes to EOF and each later send raises
+        ECONNRESET, which is exactly the broken-channel signal the
+        resilience layer's reconnect machinery keys on.  Both hosts stay
+        up; only the connections die.  Returns the number of streams
+        reset.
+        """
+        reset = 0
+        for process in self.live_processes():
+            if process.node.hostname != a:
+                continue
+            for entry in list(process.fds.values()):
+                desc = entry.description
+                if (
+                    isinstance(desc, SocketEndpoint)
+                    and desc.connected
+                    and desc.peer_hostname == b
+                ):
+                    peer = desc.peer
+                    self._vanish_description(desc)
+                    if peer is not None:
+                        self._vanish_description(peer)
+                    reset += 1
+        return reset
 
     def crash_node(self, hostname: str) -> None:
         """Power the node off: every process vanishes, spawns fail with

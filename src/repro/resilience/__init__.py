@@ -1,0 +1,23 @@
+"""Cluster-wide resilience policy: retries, deadlines, failover bookkeeping.
+
+One place for every "how long do I wait, how often do I retry, and who
+hears about it when I give up" decision in the coordinator stack.  See
+:mod:`repro.resilience.policy` for the core :class:`RetryPolicy` object
+and DESIGN.md section 15 for the failover protocol it supports.
+"""
+
+from repro.resilience.policy import (
+    RetryExhausted,
+    RetryPolicy,
+    log_retry_exhausted,
+    policy_from_spec,
+    stable_seed,
+)
+
+__all__ = [
+    "RetryExhausted",
+    "RetryPolicy",
+    "log_retry_exhausted",
+    "policy_from_spec",
+    "stable_seed",
+]

@@ -93,6 +93,17 @@ class CoordinatorHub:
         #: inbound queue: (tenant, cfd, message-or-None) -- None marks a
         #: disconnect observed by the connection thread
         self.pending: deque = deque()
+        #: admission control: per-tenant count of queued-but-undrained
+        #: frames.  A tenant at its bound gets *command* admissions shed
+        #: with a busy + retry-after reply (the retry layer honours the
+        #: hint); protocol frames -- barriers, ckpt-done, disconnects --
+        #: always enqueue, because shedding those would wedge an
+        #: in-flight round mid-protocol
+        self.inbox: dict[str, int] = {}
+        self.inbox_limit = spec.hub_inbox_limit
+        self.retry_after_s = spec.hub_retry_after_s
+        #: load-shed metric: commands refused at admission
+        self.shed = 0
         #: cfds the dispatcher retired mid-stream (a store reply whose
         #: peer died -- ``_dispatch_message`` returned keep=False on a
         #: non-GOODBYE frame).  The reader consumes the tombstone at its
@@ -132,6 +143,8 @@ class CoordinatorHub:
             "messages": self.messages,
             "max_batch": self.max_batch,
             "mean_batch": round(self.mean_batch, 3),
+            "shed": self.shed,
+            "inbox_limit": self.inbox_limit,
         }
 
 
@@ -162,6 +175,7 @@ def _hub_connection(sys: Sys, hub: CoordinatorHub, cfd: int):
     """
     asm = FrameAssembler()
     tenant: Optional[str] = None
+    admitted = False
     while True:
         result = yield from recv_frame(sys, cfd, asm)
         if result is None:
@@ -170,7 +184,7 @@ def _hub_connection(sys: Sys, hub: CoordinatorHub, cfd: int):
                 # coordinator state dropped the cfd, so a second
                 # disconnect would be noise -- consume the tombstone
                 hub.finished.discard(cfd)
-            elif tenant is not None:
+            elif tenant is not None and admitted:
                 yield from _enqueue(sys, hub, (tenant, cfd, None))
             return
         message = result[0]
@@ -182,6 +196,27 @@ def _hub_connection(sys: Sys, hub: CoordinatorHub, cfd: int):
                 except SyscallError:
                     pass
                 return
+        if (
+            message.get("kind") == P.MSG_COMMAND
+            and hub.inbox.get(tenant, 0) >= hub.inbox_limit
+        ):
+            # admission control: this tenant's inbox is full -- shed the
+            # command with a retry-after hint instead of letting an
+            # unbounded queue smear every tenant's p99.  Protocol frames
+            # are never shed (see CoordinatorHub.inbox).
+            hub.shed += 1
+            hub.world.tracer.count("hub.load_shed", tenant=tenant)
+            try:
+                yield from send_frame(
+                    sys,
+                    cfd,
+                    P.msg("busy", retry_after=hub.retry_after_s, shed=True),
+                    P.CTL_FRAME_BYTES,
+                )
+            except SyscallError:
+                return
+            continue
+        admitted = True
         yield from _enqueue(sys, hub, (tenant, cfd, message))
         if message.get("kind") == P.MSG_GOODBYE:
             # the dispatcher will drop the connection when it applies
@@ -192,6 +227,7 @@ def _hub_connection(sys: Sys, hub: CoordinatorHub, cfd: int):
 
 def _enqueue(sys: Sys, hub: CoordinatorHub, item: tuple):
     hub.pending.append(item)
+    hub.inbox[item[0]] = hub.inbox.get(item[0], 0) + 1
     if hub.idle:
         # ring the doorbell exactly once per idle period: between this
         # check and the release no other thread runs (cooperative
@@ -211,6 +247,7 @@ def _hub_dispatcher(sys: Sys, hub: CoordinatorHub):
             yield from sys.sleep(hub.tick_s)
             batch = list(hub.pending)
             hub.pending.clear()
+            hub.inbox.clear()  # pending fully drained: all inboxes empty
             yield from sys.cpu(
                 hub.batch_overhead_s + hub.batch_msg_s * len(batch)
             )
@@ -221,6 +258,11 @@ def _hub_dispatcher(sys: Sys, hub: CoordinatorHub):
             yield from _apply_batch(sys, hub, batch)
         else:
             item = hub.pending.popleft()
+            n = hub.inbox.get(item[0], 0)
+            if n > 1:
+                hub.inbox[item[0]] = n - 1
+            else:
+                hub.inbox.pop(item[0], None)
             yield from sys.cpu(hub.msg_cost_s)
             hub.batches += 1
             hub.messages += 1

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.core.coordinator import CheckpointOutcome
 from repro.faults.supervisor import find_newest_valid_plan
+from repro.resilience import RetryPolicy, log_retry_exhausted
 from repro.kernel.process import ProgramSpec, RegionSpec
 from repro.kernel.syscalls import Sys
 from repro.kernel.world import HIJACK_ENV
@@ -137,6 +138,19 @@ class ClusterScheduler:
         self._preempts: dict[str, tuple] = {}
         #: in-flight restarts: job name -> handle
         self._restarts: dict[str, dict] = {}
+        #: busy-refusal retry: the shared resilience schedule (capped
+        #: exponential backoff, jitter seeded per tenant so a storm of
+        #: simultaneous refusals does not re-storm in lockstep).  A busy
+        #: outcome re-requests on this schedule; only exhaustion counts
+        #: as a refusal and lands in the FailureLog.
+        self.retry_policy = RetryPolicy(
+            base_s=spec.reconnect_backoff_s,
+            max_s=spec.reconnect_backoff_max_s,
+            attempts=spec.command_retry_attempts,
+            jitter=spec.retry_jitter,
+        )
+        #: job name -> (attempts used, that job's backoff iterator)
+        self._ckpt_retries: dict[str, tuple] = {}
         register_worker_program(world, self.jobs)
         # ---- metrics ----------------------------------------------------
         self.ckpt_latencies: list[float] = []
@@ -325,13 +339,53 @@ class ClusterScheduler:
             del self._ckpts[name]
             job = self.jobs[name]
             if isinstance(outcome, CheckpointOutcome):
+                self._ckpt_retries.pop(name, None)
                 self.ckpt_latencies.append(outcome.finished_at - request_t)
             elif outcome == "busy":
-                self.busy_refusals += 1
-                self._charge_failure(name)
+                self._retry_busy(name, request_t)
             else:  # "aborted"
+                self._ckpt_retries.pop(name, None)
                 self.aborted_ckpts += 1
                 self._charge_failure(name)
+
+    def _retry_busy(self, name: str, request_t: float) -> None:
+        """A busy refusal re-requests on the shared retry schedule;
+        latency stays measured from the *first* request, so the backoff
+        wait is honestly charged to the tenant's checkpoint tail."""
+        used, backoff = self._ckpt_retries.get(
+            name, (0, self.retry_policy.delays(name, "ckpt-busy"))
+        )
+        if used + 1 >= self.retry_policy.attempts:
+            self._ckpt_retries.pop(name, None)
+            self.busy_refusals += 1
+            log_retry_exhausted(
+                self.world, "checkpoint-request", name, program="svc_scheduler"
+            )
+            self._charge_failure(name)
+            return
+        self._ckpt_retries[name] = (used + 1, backoff)
+        self.world.tracer.count("resilience.busy_bounces", tenant=name)
+        self.world.engine.call_after(
+            next(backoff), self._refire_ckpt, name, request_t
+        )
+
+    def _refire_ckpt(self, name: str, request_t: float) -> None:
+        """Fire one scheduled busy-retry if the tenant is still eligible."""
+        if self._stopped:
+            return
+        job = self.jobs.get(name)
+        if (
+            job is None
+            or job.state != "running"
+            or name in self._ckpts
+            or name in self._preempts
+        ):
+            # preempted, evicted, done, or a fresh epoch already asked:
+            # the retry is moot, drop its state
+            self._ckpt_retries.pop(name, None)
+            return
+        comp = self.registry.get(name)
+        self._ckpts[name] = (request_t, comp.request_checkpoint())
 
     def _charge_failure(self, name: str) -> None:
         """A refusal/abort on an *undisturbed* tenant is an isolation

@@ -53,6 +53,10 @@ class ChunkMeta:
         "pending_target",
         "stored_at",
         "inflight",
+        "repair_attempts",
+        "repair_next_t",
+        "repair_backoff",
+        "parked",
     )
 
     def __init__(self, nbytes: int, profile: str, placed: tuple):
@@ -76,6 +80,17 @@ class ChunkMeta:
         self.stored_at: float = -1e18
         #: Replication copies in progress, by destination host.
         self.inflight: set = set()
+        #: Anti-entropy budget: repair rounds that started copies for
+        #: this chunk without a replica landing since.  A landed copy
+        #: resets the budget; exhaustion parks the chunk (see
+        #: ChunkStore.repair_round) so a permanently lost rack cannot
+        #: spin the repair loop forever.
+        self.repair_attempts: int = 0
+        #: Earliest virtual time the repair loop may try this chunk
+        #: again (the shared backoff schedule, seeded by digest).
+        self.repair_next_t: float = -1e18
+        self.repair_backoff = None  # lazily-built delay iterator
+        self.parked: bool = False
 
 
 class ChunkStore:
@@ -115,12 +130,27 @@ class ChunkStore:
             "dedup_bytes": 0.0,
             "replications": 0,
             "repairs": 0,
+            "repair_attempts": 0,
+            "chunks_parked": 0,
             "degraded_reads": 0,
             "cache_hit_fetches": 0,
             "lineage_skipped": 0,
         }
         self._repair_on = False
         self._repair_event = None
+        #: Per-chunk repair pacing: capped exponential backoff between
+        #: rounds that keep re-starting copies for the same chunk, jitter
+        #: seeded by digest; after ``store_repair_attempts`` fruitless
+        #: rounds the chunk is parked with one FailureLog entry.
+        from repro.resilience import RetryPolicy
+
+        self.repair_attempts_max = int(spec.store_repair_attempts)
+        self.repair_policy = RetryPolicy(
+            base_s=self.repair_interval_s,
+            max_s=8.0 * self.repair_interval_s,
+            attempts=max(self.repair_attempts_max, 1),
+            jitter=spec.retry_jitter,
+        )
 
     # ------------------------------------------------------------------
     # Placement (pure rendezvous, rack-diverse)
@@ -288,6 +318,12 @@ class ChunkStore:
                 meta.stored_at = self.world.engine.now
                 self._note_cached(digest, dst_host)
                 self.stats["replications"] += 1
+                # a landed replica proves the chunk is repairable: refill
+                # the anti-entropy budget and unpark it
+                meta.repair_attempts = 0
+                meta.repair_backoff = None
+                meta.repair_next_t = -1e18
+                meta.parked = False
 
         def landed() -> None:
             dst.disk.write(nbytes).add_done(finish)
@@ -304,16 +340,51 @@ class ChunkStore:
         read.add_done(arrived)
 
     def repair_round(self) -> int:
-        """One anti-entropy sweep; returns the number of copies started."""
+        """One anti-entropy sweep; returns the number of copies started.
+
+        Per-chunk attempt budget: a chunk whose copies keep dying burns
+        one attempt per round that starts copies, waits out a digest-
+        seeded backoff before the next try, and after
+        ``store_repair_attempts`` fruitless rounds is *parked* -- one
+        FailureLog entry, no more copies -- so a permanently lost rack
+        degrades to a bounded cost instead of an infinite re-replication
+        spin.  Any replica landing (see ``_start_copy``) unparks the
+        chunk and refills its budget.
+        """
+        from repro.resilience import log_retry_exhausted
+
+        now = self.world.engine.now
         started = 0
         for digest, meta in self.chunks.items():
-            if not meta.durable:
+            if not meta.durable or meta.parked:
                 continue
             dead_inflight = {h for h in meta.inflight if not self._up(h)}
             meta.inflight -= dead_inflight
             meta.present = {h for h in meta.present if self._up(h) or h in meta.placed}
+            if now < meta.repair_next_t:
+                continue  # backing off after a fruitless attempt
             n = self._ensure_replicated(digest)
             started += n
+            if not n:
+                continue
+            meta.repair_attempts += 1
+            self.stats["repair_attempts"] += 1
+            self.world.tracer.count("store.repair_attempts")
+            if meta.repair_attempts >= self.repair_attempts_max:
+                meta.parked = True
+                self.stats["chunks_parked"] += 1
+                self.world.tracer.count("store.chunks_parked")
+                log_retry_exhausted(
+                    self.world,
+                    "store-repair",
+                    f"chunk {digest[:12]} parked after "
+                    f"{meta.repair_attempts} repair attempts",
+                    program="chunk_store",
+                )
+                continue
+            if meta.repair_backoff is None:
+                meta.repair_backoff = self.repair_policy.delays(digest, "repair")
+            meta.repair_next_t = now + next(meta.repair_backoff)
         if started:
             self.stats["repairs"] += started
         return started
